@@ -1,0 +1,100 @@
+// Command gpart partitions a graph file and reports the quality metrics
+// that drive disaggregated NDP offload efficiency: edge cut, replication
+// factor (mirror count), and balance.
+//
+// Usage:
+//
+//	gpart -in graph.gcsr -k 16 -method multilevel
+//	gpart -in graph.txt -k 8 -method all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+func main() {
+	in := flag.String("in", "", "input graph (.gcsr binary or edge-list text)")
+	k := flag.Int("k", 8, "number of partitions")
+	method := flag.String("method", "multilevel", "hash | range | chunk | ldg | multilevel | all")
+	seed := flag.Uint64("seed", 1, "multilevel seed")
+	vertexCut := flag.Bool("vertexcut", false, "also report PowerGraph-style vertex-cut quality")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "gpart: missing -in")
+		flag.Usage()
+		os.Exit(2)
+	}
+	g, err := load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
+
+	var ps []partition.Partitioner
+	switch *method {
+	case "hash":
+		ps = []partition.Partitioner{partition.Hash{}}
+	case "range":
+		ps = []partition.Partitioner{partition.Range{}}
+	case "chunk":
+		ps = []partition.Partitioner{partition.Chunk{}}
+	case "multilevel":
+		ps = []partition.Partitioner{partition.Multilevel{Seed: *seed}}
+	case "ldg":
+		ps = []partition.Partitioner{partition.LDG{}}
+	case "all":
+		ps = []partition.Partitioner{partition.Hash{}, partition.Range{}, partition.Chunk{}, partition.LDG{}, partition.Multilevel{Seed: *seed}}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("partition quality, k=%d", *k),
+		"Method", "Edge cut", "Cut %", "Replication", "Mirrors", "V imbalance", "E imbalance")
+	for _, p := range ps {
+		a, err := p.Partition(g, *k)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p.Name(), err))
+		}
+		q := partition.Evaluate(g, a)
+		t.AddRow(p.Name(), q.EdgeCut, 100*q.CutFraction, q.ReplicationFactor, q.Mirrors, q.VertexImbalance, q.EdgeImbalance)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if *vertexCut {
+		vt := metrics.NewTable(fmt.Sprintf("vertex-cut (PowerGraph-style) quality, k=%d", *k),
+			"Method", "Replication", "Replicas", "E imbalance")
+		for _, c := range []partition.VertexCutter{partition.RandomVertexCut{}, partition.GreedyVertexCut{}} {
+			a, err := c.Cut(g, *k)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", c.Name(), err))
+			}
+			q := partition.EvaluateVertexCut(g, a)
+			vt.AddRow(c.Name(), q.ReplicationFactor, q.Replicas, q.EdgeImbalance)
+		}
+		if err := vt.Render(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func load(path string) (*graph.Graph, error) {
+	if strings.HasSuffix(path, ".gcsr") || strings.HasSuffix(path, ".bin") {
+		return gio.LoadBinaryFile(path)
+	}
+	return gio.LoadEdgeListFile(path)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gpart: %v\n", err)
+	os.Exit(1)
+}

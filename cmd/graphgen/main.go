@@ -1,0 +1,132 @@
+// Command graphgen generates synthetic graphs — either the named dataset
+// stand-ins from the catalog or raw generator output — and writes them as
+// an edge list or the binary CSR container.
+//
+// Usage:
+//
+//	graphgen -dataset twitter7 -scale 0.5 -out twitter7.gcsr
+//	graphgen -gen rmat -n 16 -e 16 -out g.txt -format edgelist
+//	graphgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+func main() {
+	dataset := flag.String("dataset", "", "named dataset stand-in (see -list)")
+	generator := flag.String("gen", "", "raw generator: rmat | er | pa | ws | star | grid | community")
+	scale := flag.Float64("scale", 1.0, "dataset scale factor")
+	n := flag.Int("n", 12, "rmat: scale (log2 vertices); others: vertex count")
+	e := flag.Int("e", 16, "edge factor (rmat) or total edges / degree (others)")
+	seed := flag.Uint64("seed", 42, "generation seed")
+	weighted := flag.Bool("weighted", true, "attach edge weights")
+	out := flag.String("out", "", "output file ('-' for stdout edge list)")
+	format := flag.String("format", "binary", "output format: binary | binaryz (varint-compressed) | edgelist")
+	list := flag.Bool("list", false, "list dataset stand-ins and exit")
+	stats := flag.Bool("stats", false, "print graph statistics to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, d := range gen.Datasets() {
+			fmt.Printf("%-16s %s\n  real: %d vertices, %d edges; base stand-in: %d vertices\n",
+				d.Name, d.Description, d.RealVertices, d.RealEdges, d.BaseVertices)
+		}
+		return
+	}
+
+	g, err := build(*dataset, *generator, *scale, *n, *e, gen.Config{Seed: *seed, Weighted: *weighted, DropSelfLoops: true})
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, graph.ComputeStats(g))
+	}
+	if *out == "" {
+		fatal(fmt.Errorf("missing -out (use '-' for stdout edge list)"))
+	}
+	if *out == "-" {
+		if err := gio.WriteEdgeList(os.Stdout, g); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	switch *format {
+	case "binary":
+		err = gio.SaveBinaryFile(*out, g)
+	case "binaryz":
+		var f *os.File
+		f, err = os.Create(*out)
+		if err == nil {
+			err = gio.WriteBinaryCompressed(f, g)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	case "edgelist":
+		var f *os.File
+		f, err = os.Create(*out)
+		if err == nil {
+			err = gio.WriteEdgeList(f, g)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, *out)
+}
+
+func build(dataset, generator string, scale float64, n, e int, cfg gen.Config) (*graph.Graph, error) {
+	switch {
+	case dataset != "":
+		d, err := gen.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(scale, cfg)
+	case generator != "":
+		switch generator {
+		case "rmat":
+			return gen.RMATGraph500(n, e, cfg)
+		case "er":
+			return gen.ErdosRenyi(n, e, cfg)
+		case "pa":
+			return gen.PreferentialAttachment(n, e, cfg)
+		case "ws":
+			return gen.WattsStrogatz(n, e, 0.1, cfg)
+		case "star":
+			return gen.SkewedStar(n, maxInt(1, n/512), n/24, e, cfg)
+		case "grid":
+			return gen.Grid(n, n, cfg)
+		case "community":
+			return gen.Community(n, maxInt(2, n/128), e, 0.9, cfg)
+		default:
+			return nil, fmt.Errorf("unknown generator %q", generator)
+		}
+	default:
+		return nil, fmt.Errorf("one of -dataset or -gen is required")
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "graphgen: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command ndpreport regenerates every evaluation artifact and renders a
+// single self-contained markdown reproduction report: configuration, one
+// section per table/figure with the measured numbers, and the
+// paper-shape check results.
+//
+//	ndpreport -scale 0.5 > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "dataset scale factor")
+	seed := flag.Uint64("seed", 42, "dataset generation seed")
+	priters := flag.Int("priters", 10, "PageRank iterations")
+	flag.Parse()
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, PageRankIterations: *priters}
+	w := os.Stdout
+
+	fmt.Fprintf(w, "# Reproduction report — Disaggregated NDP Architectures for Large-scale Graph Analytics\n\n")
+	fmt.Fprintf(w, "Configuration: scale=%g seed=%d pagerank-iterations=%d\n\n", *scale, *seed, *priters)
+	fmt.Fprintf(w, "Regenerate any section with `go run ./cmd/ndpbench -scale %g -seed %d <id>`.\n\n", *scale, *seed)
+
+	okTotal, mismatchTotal := 0, 0
+	for _, id := range experiments.IDs() {
+		a, err := experiments.Run(id, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndpreport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "## `%s` — %s\n\n", a.ID, a.Title)
+		writeMarkdownTable(w, a.Table)
+		if len(a.Notes) > 0 {
+			fmt.Fprintln(w)
+			for _, n := range a.Notes {
+				marker := "-"
+				switch {
+				case strings.HasPrefix(n, "OK:"):
+					marker = "- ✅"
+					okTotal++
+				case strings.HasPrefix(n, "MISMATCH"):
+					marker = "- ❌"
+					mismatchTotal++
+				}
+				fmt.Fprintf(w, "%s %s\n", marker, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "---\n\n**Paper-shape checks: %d passed, %d failed.**\n", okTotal, mismatchTotal)
+	if mismatchTotal > 0 {
+		os.Exit(1)
+	}
+}
+
+// writeMarkdownTable renders a metrics.Table as GitHub-flavored markdown
+// by converting its CSV form (the only loss is column alignment, which
+// markdown renderers redo anyway).
+func writeMarkdownTable(w *os.File, t *metrics.Table) {
+	var csv strings.Builder
+	if err := t.RenderCSV(&csv); err != nil {
+		fmt.Fprintf(os.Stderr, "ndpreport: %v\n", err)
+		os.Exit(1)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	for i, line := range lines {
+		cells := splitCSVLine(line)
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		if i == 0 {
+			seps := make([]string, len(cells))
+			for j := range seps {
+				seps[j] = "---"
+			}
+			fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+		}
+	}
+}
+
+// splitCSVLine splits one RFC-4180 CSV line (quotes unescaped).
+func splitCSVLine(line string) []string {
+	var cells []string
+	var cur strings.Builder
+	inQuotes := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuotes && c == '"' && i+1 < len(line) && line[i+1] == '"':
+			cur.WriteByte('"')
+			i++
+		case c == '"':
+			inQuotes = !inQuotes
+		case c == ',' && !inQuotes:
+			cells = append(cells, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	cells = append(cells, cur.String())
+	return cells
+}

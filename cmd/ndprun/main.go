@@ -1,0 +1,230 @@
+// Command ndprun executes one (dataset, kernel, architecture) deployment
+// on the simulator with every knob exposed — the workhorse for ad-hoc
+// what-if questions the preset experiments don't cover.
+//
+// Examples:
+//
+//	ndprun -dataset twitter7 -kernel pagerank -arch disaggregated-ndp -partitions 16
+//	ndprun -dataset wiki-talk -kernel bfs -arch disaggregated-ndp -policy heuristic
+//	ndprun -dataset uk-2005 -kernel pagerank -arch disaggregated-ndp -aggregate -partitioner multilevel
+//	ndprun -dataset com-livejournal -kernel cc -arch all -csv
+//	ndprun -graph my.gcsr -kernel sssp -arch disaggregated -cache 0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/ndp"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		datasetName = flag.String("dataset", "", "dataset stand-in: twitter7 | uk-2005 | com-livejournal | wiki-talk")
+		graphFile   = flag.String("graph", "", "graph file (.gcsr or edge list) instead of -dataset")
+		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
+		seed        = flag.Uint64("seed", 42, "generation/partitioning seed")
+		kernelName  = flag.String("kernel", "pagerank", "kernel: pagerank | pagerank-delta | ppr | cc | bfs | sssp | sswp | indegree | reach")
+		arch        = flag.String("arch", "disaggregated-ndp", "architecture: distributed | distributed-ndp | disaggregated | disaggregated-ndp | all")
+		partitions  = flag.Int("partitions", 8, "memory nodes / partitions")
+		computes    = flag.Int("computes", 2, "compute nodes")
+		partitioner = flag.String("partitioner", "hash", "hash | range | chunk | ldg | multilevel")
+		policyName  = flag.String("policy", "always", "offload policy: always | never | threshold | heuristic | oracle | mixed-oracle | partition-heuristic")
+		aggregate   = flag.Bool("aggregate", false, "enable in-network aggregation")
+		device      = flag.String("device", "CXL-CMS", "memory-node NDP device (see ndpbench table1)")
+		cacheFrac   = flag.Float64("cache", 0, "host edge-cache fraction of the edge list (disaggregated only)")
+		swBuffer    = flag.Int64("switchbuffer", 0, "switch aggregation buffer entries (0 = unlimited)")
+		priters     = flag.Int("priters", 10, "PageRank iterations")
+		perIter     = flag.Bool("iters", false, "print the per-iteration ledger")
+		csv         = flag.Bool("csv", false, "emit the summary as CSV")
+		iterCSV     = flag.String("itercsv", "", "write the per-iteration ledger as CSV to this file (single -arch only)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*datasetName, *graphFile, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	k, err := makeKernel(*kernelName, *priters)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := makePartitioner(*partitioner, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	assign, err := p.Partition(g, *partitions)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := makePolicy(*policyName)
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := ndp.ByName(*device)
+	if err != nil {
+		fatal(err)
+	}
+	topo := sim.DefaultTopology(*computes, *partitions)
+	topo.MemDevice = dev
+	topo.SwitchBufferEntries = *swBuffer
+
+	archs := []string{*arch}
+	if *arch == "all" {
+		archs = []string{"distributed", "distributed-ndp", "disaggregated", "disaggregated-ndp"}
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("%s on %s (V=%d E=%d, %d partitions via %s, policy %s)",
+			k.Name(), graphLabel(*datasetName, *graphFile), g.NumVertices(), g.NumEdges(), *partitions, p.Name(), pol.Name()),
+		"Architecture", "Iterations", "Moved", "Sync events", "Est time (ms)", "Energy (mJ)", "Offload OK")
+	for _, an := range archs {
+		e, err := makeEngine(an, topo, assign, pol, *aggregate, *cacheFrac, g)
+		if err != nil {
+			fatal(err)
+		}
+		run, err := e.Run(g, k)
+		if err != nil {
+			fatal(err)
+		}
+		t.AddRow(run.Engine, run.Result.Iterations, graph.FormatBytes(run.TotalDataMovementBytes),
+			run.TotalSyncEvents, run.TotalSeconds*1e3, run.TotalEnergyJoules*1e3, run.OffloadSupported)
+		if *perIter {
+			it := metrics.NewTable("per-iteration ledger — "+run.Engine,
+				"Iter", "Frontier", "Edges", "Offloaded", "Moved", "Updates", "Writeback")
+			for _, rec := range run.Records {
+				it.AddRow(rec.Iteration, rec.FrontierSize, rec.ActiveEdges, rec.Offloaded,
+					graph.FormatBytes(rec.DataMovementBytes), rec.PartialUpdates, graph.FormatBytes(rec.WritebackBytes))
+			}
+			if err := it.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		if run.OffloadNote != "" {
+			fmt.Fprintf(os.Stderr, "note: %s\n", run.OffloadNote)
+		}
+		if *iterCSV != "" && len(archs) == 1 {
+			f, err := os.Create(*iterCSV)
+			if err != nil {
+				fatal(err)
+			}
+			if err := sim.WriteRecordsCSV(f, run); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote per-iteration ledger to %s\n", *iterCSV)
+		}
+	}
+	if *csv {
+		err = t.RenderCSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func loadGraph(dataset, file string, scale float64, seed uint64) (*graph.Graph, error) {
+	switch {
+	case file != "":
+		if strings.HasSuffix(file, ".gcsr") {
+			return gio.LoadBinaryFile(file)
+		}
+		return gio.LoadEdgeListFile(file)
+	case dataset != "":
+		d, err := gen.ByName(dataset)
+		if err != nil {
+			return nil, err
+		}
+		return d.Generate(scale, gen.Config{Seed: seed, Weighted: true, DropSelfLoops: true})
+	default:
+		return nil, fmt.Errorf("one of -dataset or -graph is required")
+	}
+}
+
+func graphLabel(dataset, file string) string {
+	if file != "" {
+		return file
+	}
+	return dataset
+}
+
+func makeKernel(name string, priters int) (kernels.Kernel, error) {
+	if name == "pagerank" || name == "pr" {
+		return kernels.NewPageRank(priters, kernels.DefaultDamping), nil
+	}
+	return kernels.ByName(name)
+}
+
+func makePartitioner(name string, seed uint64) (partition.Partitioner, error) {
+	switch name {
+	case "hash":
+		return partition.Hash{}, nil
+	case "range":
+		return partition.Range{}, nil
+	case "chunk":
+		return partition.Chunk{}, nil
+	case "ldg":
+		return partition.LDG{}, nil
+	case "multilevel":
+		return partition.Multilevel{Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("unknown partitioner %q", name)
+	}
+}
+
+func makePolicy(name string) (sim.OffloadPolicy, error) {
+	switch name {
+	case "always":
+		return sim.AlwaysOffload{}, nil
+	case "never":
+		return sim.NeverOffload{}, nil
+	case "threshold":
+		return runtime.ThresholdPolicy{}, nil
+	case "heuristic":
+		return runtime.Heuristic{}, nil
+	case "oracle":
+		return runtime.Oracle{}, nil
+	case "mixed-oracle":
+		return runtime.MixedOracle{}, nil
+	case "partition-heuristic":
+		return runtime.PartitionHeuristic{}, nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
+	}
+}
+
+func makeEngine(arch string, topo sim.Topology, assign *partition.Assignment, pol sim.OffloadPolicy, aggregate bool, cacheFrac float64, g *graph.Graph) (sim.Engine, error) {
+	switch arch {
+	case "distributed":
+		return &sim.Distributed{Topo: topo, Assign: assign}, nil
+	case "distributed-ndp":
+		return &sim.DistributedNDP{Topo: topo, Assign: assign}, nil
+	case "disaggregated":
+		cache := int64(cacheFrac * float64(g.NumEdges()*kernels.EdgeBytes))
+		return &sim.Disaggregated{Topo: topo, Assign: assign, CacheBytes: cache}, nil
+	case "disaggregated-ndp":
+		return &sim.DisaggregatedNDP{Topo: topo, Assign: assign, Policy: pol, InNetworkAggregation: aggregate}, nil
+	default:
+		return nil, fmt.Errorf("unknown architecture %q", arch)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndprun: %v\n", err)
+	os.Exit(1)
+}

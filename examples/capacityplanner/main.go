@@ -1,0 +1,53 @@
+// Capacity planning: how wide should the memory pool be? Figure 6 of the
+// paper shows the trade-off — wider pools mean more partial-update
+// traffic — and this example uses the runtime planner to sweep pool
+// widths for a workload and recommend a configuration.
+//
+//	go run ./examples/capacityplanner
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+)
+
+func main() {
+	g, err := gen.ComLiveJournal.Generate(0.5, gen.Config{Seed: 17, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+	k := kernels.NewPageRank(10, 0.85)
+
+	for _, aggregate := range []bool{false, true} {
+		planner := runtime.Planner{
+			Partitioner: partition.Multilevel{Seed: 17},
+			Aggregation: aggregate,
+		}
+		plans, err := planner.Recommend(g, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "without in-network aggregation"
+		if aggregate {
+			label = "with in-network aggregation"
+		}
+		t := metrics.NewTable("pool-width sweep "+label+" (ranked)",
+			"Memory nodes", "Moved", "Est time (ms)", "Energy (mJ)", "Mostly offloaded")
+		for _, p := range plans {
+			t.AddRow(p.MemoryNodes, graph.FormatBytes(p.MovedBytes), p.Seconds*1e3, p.EnergyJoules*1e3, p.Offloaded)
+		}
+		fmt.Println(t)
+		fmt.Printf("recommendation: %d memory nodes (%s moved)\n\n",
+			plans[0].MemoryNodes, graph.FormatBytes(plans[0].MovedBytes))
+	}
+	fmt.Println("aggregation flattens the width penalty: with INC the pool can grow")
+	fmt.Println("(for capacity) without paying proportionally in update traffic.")
+}

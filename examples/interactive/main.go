@@ -1,0 +1,85 @@
+// Interactive path queries: BFS and shortest paths from a source vertex,
+// with estimated latency across NDP device choices — illustrating how
+// Table I's device capabilities (UPMEM's primitive floating point, PNM's
+// native FP) gate and penalise kernel offload.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/ndp"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func main() {
+	g, err := gen.Twitter7.Generate(0.25, gen.Config{Seed: 5, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+	const parts = 8
+	const source = 0
+	assign, err := partition.Multilevel{Seed: 5}.Partition(g, parts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Which devices can host which kernels, and at what cost?
+	t := metrics.NewTable("device choice vs kernel latency (8 memory nodes)",
+		"Device", "Kernel", "Supported", "Penalty", "Est time (ms)", "Moved")
+	for _, devName := range []string{"CXL-CMS", "UPMEM"} {
+		dev, err := ndp.ByName(devName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo := sim.DefaultTopology(2, parts)
+		topo.MemDevice = dev
+		for _, k := range []kernels.Kernel{kernels.NewBFS(source), kernels.NewSSSP(source), kernels.NewPageRank(10, 0.85)} {
+			dec := dev.Supports(k)
+			run, err := (&sim.DisaggregatedNDP{Topo: topo, Assign: assign}).Run(g, k)
+			if err != nil {
+				log.Fatal(err)
+			}
+			penalty := "-"
+			if dec.OK {
+				penalty = fmt.Sprintf("%.0fx", dec.Penalty)
+			}
+			t.AddRow(devName, k.Name(), dec.OK, penalty, run.TotalSeconds*1e3,
+				graph.FormatBytes(run.TotalDataMovementBytes))
+		}
+	}
+	fmt.Println(t)
+
+	// A concrete query: how far is the most distant reachable vertex?
+	run, err := (&sim.DisaggregatedNDP{Topo: sim.DefaultTopology(2, parts), Assign: assign}).Run(g, kernels.NewBFS(source))
+	if err != nil {
+		log.Fatal(err)
+	}
+	far, hops, reached := 0, 0.0, 0
+	for v, d := range run.Result.Values {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		reached++
+		if d > hops {
+			far, hops = v, d
+		}
+	}
+	fmt.Printf("BFS from %d: reached %d/%d vertices; eccentric vertex %d at %0.f hops\n",
+		source, reached, g.NumVertices(), far, hops)
+
+	dists, err := (&sim.DisaggregatedNDP{Topo: sim.DefaultTopology(2, parts), Assign: assign}).Run(g, kernels.NewSSSP(source))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("weighted distance to vertex %d: %.4f\n", far, dists.Result.Values[far])
+}

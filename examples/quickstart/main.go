@@ -1,0 +1,58 @@
+// Quickstart: run PageRank on a simulated disaggregated NDP system and
+// inspect the data-movement ledger.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+func main() {
+	// 1. A graph. The catalog provides scaled stand-ins for the paper's
+	// datasets; scale 0.5 keeps this instant.
+	g, err := gen.ComLiveJournal.Generate(0.5, gen.Config{Seed: 1, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("graph:", g)
+	fmt.Println(graph.ComputeStats(g))
+
+	// 2. A system: disaggregated NDP with 2 hosts and a 16-node memory
+	// pool, min-cut partitioning, dynamic offload, in-network aggregation
+	// — all defaults of core.New.
+	sys, err := core.New(core.DisaggregatedNDP, core.WithMemoryNodes(16))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Run a kernel.
+	run, err := sys.Run(g, kernels.NewPageRank(10, 0.85))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The results: vertex properties plus a per-iteration movement ledger.
+	fmt.Println("\n", run)
+	fmt.Println("\niter  frontier  activeEdges  offloaded  moved")
+	for _, rec := range run.Records {
+		fmt.Printf("%4d  %8d  %11d  %9v  %s\n",
+			rec.Iteration, rec.FrontierSize, rec.ActiveEdges, rec.Offloaded,
+			graph.FormatBytes(rec.DataMovementBytes))
+	}
+
+	// Top-ranked vertices.
+	best, bestRank := 0, 0.0
+	for v, r := range run.Result.Values {
+		if r > bestRank {
+			best, bestRank = v, r
+		}
+	}
+	fmt.Printf("\nhighest-ranked vertex: %d (rank %.6f)\n", best, bestRank)
+}

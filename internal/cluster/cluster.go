@@ -1,0 +1,141 @@
+// Package cluster is an executable, concurrent implementation of the
+// paper's Figure 1(b): the disaggregated NDP architecture as actual
+// communicating processes rather than the analytical accounting of
+// package sim.
+//
+// Every node of the architecture is a goroutine, and every link a typed
+// channel: memory-node actors hold edge partitions and run the offloaded
+// traversal phase; a switch actor forwards — or, with in-network
+// aggregation enabled, merges — partial updates in flight; compute-node
+// actors own the vertex properties, run the update phase, and write
+// refreshed properties back to the pool. A driver coordinates
+// bulk-synchronous iterations and collects byte counts from the real
+// message traffic.
+//
+// The package exists for two reasons. First, it demonstrates that the
+// protocol the paper sketches actually closes: initial property
+// distribution, traversal offload, in-transit aggregation, update
+// application, and write-back freshness compose into a terminating
+// system that computes exactly what a serial engine computes. Second, it
+// cross-validates the simulator: the bytes this implementation actually
+// sends must equal the bytes sim.DisaggregatedNDP accounts analytically
+// (tests enforce this), so the numbers behind the paper's figures are
+// backed by two independent implementations.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+)
+
+// Update is one vertex update in flight: the paper's 16-byte unit (8-byte
+// vertex id + 8-byte value).
+type Update struct {
+	Vertex graph.VertexID
+	Value  float64
+}
+
+// UpdateBytes is the wire size of an Update.
+const UpdateBytes = kernels.UpdateBytes
+
+// Config shapes the cluster.
+type Config struct {
+	// ComputeNodes is the number of compute actors (vertex properties are
+	// hash-partitioned across them). Default 2.
+	ComputeNodes int
+	// Aggregate enables in-network aggregation at the switch actors.
+	Aggregate bool
+	// TreeFanIn, when >= 2, replaces the single switch with a SHARP-style
+	// hierarchical reduction tree: memory nodes attach to leaf switches
+	// in groups of TreeFanIn, leaf switches to parents likewise, up to a
+	// single root that delivers to the compute nodes. Each level merges
+	// updates for the same destination before forwarding (when Aggregate
+	// is set). 0 or 1 selects the flat single-switch topology.
+	TreeFanIn int
+	// ChannelDepth is the buffering on every link. Default 64.
+	ChannelDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ComputeNodes <= 0 {
+		c.ComputeNodes = 2
+	}
+	if c.ChannelDepth <= 0 {
+		c.ChannelDepth = 64
+	}
+	return c
+}
+
+// Traffic tallies the bytes each link class actually carried.
+type Traffic struct {
+	// MemToSwitch is partial-update traffic from the memory pool.
+	MemToSwitch int64
+	// SwitchToCompute is the (possibly aggregated) update traffic
+	// delivered to the hosts.
+	SwitchToCompute int64
+	// Writeback is refreshed-property traffic from hosts to the pool.
+	Writeback int64
+}
+
+// Total returns the bytes crossing the compute boundary (to compare with
+// sim's headline DataMovementBytes): updates in plus write-backs out.
+func (t Traffic) Total() int64 { return t.SwitchToCompute + t.Writeback }
+
+// Outcome is the result of a cluster run.
+type Outcome struct {
+	Values     []float64
+	Iterations int
+	Converged  bool
+	// PerIteration holds the measured traffic of each iteration.
+	PerIteration []Traffic
+	// Totals.
+	Traffic Traffic
+	// LevelBytes[l] is the total bytes leaving switch level l of the
+	// aggregation tree (level 0 = leaf switches; the last level is the
+	// root's delivery to the compute nodes). For the flat topology it has
+	// one entry, equal to Traffic.SwitchToCompute.
+	LevelBytes []int64
+}
+
+// message types exchanged on the links.
+
+// traverseCmd tells a memory node to run one traversal phase.
+type traverseCmd struct{ iteration int }
+
+// updateBatch carries partial updates from one memory node (via the
+// switch) toward the compute nodes. mem identifies the producing memory
+// node; final marks the producer's last batch of the iteration.
+type updateBatch struct {
+	mem     int
+	updates []Update
+	final   bool
+}
+
+// writebackBatch carries refreshed properties from a compute node to one
+// memory node. final marks the producer's last batch of the iteration.
+type writebackBatch struct {
+	compute int
+	updates []Update
+	final   bool
+}
+
+// Run executes the kernel on the concurrent cluster. The assignment maps
+// vertices (and so their out-edge lists) to memory nodes, exactly as in
+// the simulator.
+func Run(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) (*Outcome, error) {
+	cfg = cfg.withDefaults()
+	if err := kernels.CheckGraph(g, k); err != nil {
+		return nil, err
+	}
+	if err := assign.Validate(g); err != nil {
+		return nil, err
+	}
+	if _, ok := k.(kernels.StatefulKernel); ok {
+		return nil, fmt.Errorf("cluster: stateful kernels share residual tables and cannot run as distributed actors")
+	}
+	d := newDriver(g, k, assign, cfg)
+	return d.run()
+}

@@ -1,0 +1,241 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func clusterGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.Community(900, 9, 7, 0.85, gen.Config{Seed: 23, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func clusterAssign(t testing.TB, g *graph.Graph, parts int) *partition.Assignment {
+	t.Helper()
+	a, err := partition.Hash{}.Partition(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// concurrency makes floating-point sum order nondeterministic; min/max
+// kernels must still be exact.
+func tolFor(k kernels.Kernel) float64 {
+	if k.Traits().Agg == kernels.AggSum {
+		return 1e-9
+	}
+	return 0
+}
+
+func TestClusterMatchesSerialAllKernels(t *testing.T) {
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 6)
+	for _, k := range kernels.All() {
+		k := k
+		if _, stateful := k.(kernels.StatefulKernel); stateful {
+			continue // rejected by design; covered below
+		}
+		t.Run(k.Name(), func(t *testing.T) {
+			ref, err := kernels.RunSerial(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, aggregate := range []bool{false, true} {
+				out, err := Run(g, k, a, Config{ComputeNodes: 3, Aggregate: aggregate})
+				if err != nil {
+					t.Fatalf("aggregate=%v: %v", aggregate, err)
+				}
+				if out.Iterations != ref.Iterations {
+					t.Errorf("aggregate=%v: iterations %d, serial %d", aggregate, out.Iterations, ref.Iterations)
+				}
+				tol := tolFor(k)
+				for v := range ref.Values {
+					x, y := out.Values[v], ref.Values[v]
+					if math.IsInf(x, 1) && math.IsInf(y, 1) {
+						continue
+					}
+					if d := math.Abs(x - y); d > tol {
+						t.Fatalf("aggregate=%v: value[%d] = %g, serial %g", aggregate, v, x, y)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestClusterRejectsStatefulKernels(t *testing.T) {
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 4)
+	if _, err := Run(g, kernels.NewPageRankDelta(0.85, 1e-9), a, Config{}); err == nil {
+		t.Error("accepted a stateful kernel")
+	}
+}
+
+// TestClusterTrafficMatchesSimulator is the cross-validation at the heart
+// of this package: bytes actually sent over the actor channels must equal
+// the bytes the analytical simulator accounts.
+func TestClusterTrafficMatchesSimulator(t *testing.T) {
+	g := clusterGraph(t)
+	const parts = 6
+	a := clusterAssign(t, g, parts)
+	topo := sim.DefaultTopology(2, parts)
+	for _, kn := range []string{"pagerank", "bfs", "cc", "sssp"} {
+		k, err := kernels.ByName(kn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, aggregate := range []bool{false, true} {
+			run, err := (&sim.DisaggregatedNDP{Topo: topo, Assign: a, InNetworkAggregation: aggregate}).Run(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := Run(g, k, a, Config{ComputeNodes: 2, Aggregate: aggregate})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out.PerIteration) != len(run.Records) {
+				t.Fatalf("%s agg=%v: %d cluster iterations vs %d sim records",
+					kn, aggregate, len(out.PerIteration), len(run.Records))
+			}
+			for i, tr := range out.PerIteration {
+				rec := run.Records[i]
+				if tr.MemToSwitch != rec.UpdateMoveBytes {
+					t.Errorf("%s agg=%v it%d: mem->switch %d, sim partial updates %d",
+						kn, aggregate, i, tr.MemToSwitch, rec.UpdateMoveBytes)
+				}
+				wantDeliver := rec.UpdateMoveBytes
+				if aggregate {
+					wantDeliver = rec.AggregatedMoveBytes
+				}
+				if tr.SwitchToCompute != wantDeliver {
+					t.Errorf("%s agg=%v it%d: switch->compute %d, sim %d",
+						kn, aggregate, i, tr.SwitchToCompute, wantDeliver)
+				}
+				if tr.Writeback != rec.WritebackBytes {
+					t.Errorf("%s agg=%v it%d: writeback %d, sim %d",
+						kn, aggregate, i, tr.Writeback, rec.WritebackBytes)
+				}
+				if tr.Total() != rec.DataMovementBytes {
+					t.Errorf("%s agg=%v it%d: total %d, sim headline %d",
+						kn, aggregate, i, tr.Total(), rec.DataMovementBytes)
+				}
+			}
+		}
+	}
+}
+
+func TestClusterAggregationReducesDelivery(t *testing.T) {
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 8)
+	k := kernels.NewPageRank(5, 0.85)
+	plain, err := Run(g, k, a, Config{ComputeNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Run(g, k, a, Config{ComputeNodes: 2, Aggregate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Traffic.SwitchToCompute >= plain.Traffic.SwitchToCompute {
+		t.Errorf("aggregation did not reduce delivery: %d >= %d",
+			agg.Traffic.SwitchToCompute, plain.Traffic.SwitchToCompute)
+	}
+	if agg.Traffic.MemToSwitch != plain.Traffic.MemToSwitch {
+		t.Errorf("aggregation changed pool-side traffic: %d vs %d",
+			agg.Traffic.MemToSwitch, plain.Traffic.MemToSwitch)
+	}
+}
+
+func TestClusterValidatesInputs(t *testing.T) {
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 4)
+	// Weighted kernel on unweighted graph.
+	ug, err := gen.ErdosRenyi(100, 300, gen.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ua := clusterAssign(t, ug, 4)
+	if _, err := Run(ug, kernels.NewSSSP(0), ua, Config{}); err == nil {
+		t.Error("accepted sssp on unweighted graph")
+	}
+	// Mismatched assignment.
+	bad := &partition.Assignment{Parts: make([]int32, 5), K: 2}
+	if _, err := Run(g, kernels.NewBFS(0), bad, Config{}); err == nil {
+		t.Error("accepted invalid assignment")
+	}
+	_ = a
+}
+
+func TestClusterSingleNodeDegenerate(t *testing.T) {
+	// 1 memory node, 1 compute node: the protocol must still terminate.
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 1)
+	out, err := Run(g, kernels.NewBFS(0), a, Config{ComputeNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := kernels.RunSerial(g, kernels.NewBFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Values {
+		if out.Values[v] != ref.Values[v] &&
+			!(math.IsInf(out.Values[v], 1) && math.IsInf(ref.Values[v], 1)) {
+			t.Fatalf("value[%d] = %g, want %g", v, out.Values[v], ref.Values[v])
+		}
+	}
+	if !out.Converged {
+		t.Error("bfs did not converge")
+	}
+}
+
+func TestClusterManyActorsSmallGraph(t *testing.T) {
+	// More actors than work: 16 memory nodes, 8 compute nodes, 64 vertices.
+	g, err := gen.ErdosRenyi(64, 256, gen.Config{Seed: 5, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := clusterAssign(t, g, 16)
+	out, err := Run(g, kernels.NewConnectedComponents(), a, Config{ComputeNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := kernels.RunSerial(g, kernels.NewConnectedComponents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Values {
+		if out.Values[v] != ref.Values[v] {
+			t.Fatalf("value[%d] = %g, want %g", v, out.Values[v], ref.Values[v])
+		}
+	}
+}
+
+func BenchmarkClusterPageRank(b *testing.B) {
+	g, err := gen.Community(4000, 16, 8, 0.85, gen.Config{Seed: 23, DropSelfLoops: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := partition.Hash{}.Partition(g, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := kernels.NewPageRank(5, 0.85)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, k, a, Config{ComputeNodes: 2, Aggregate: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package cluster
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+)
+
+// batchSize bounds how many updates travel in one message.
+const batchSize = 512
+
+// ctrl messages drive the actors through bulk-synchronous iterations.
+type ctrl int
+
+const (
+	ctrlIterate ctrl = iota
+	ctrlShutdown
+)
+
+// computeSummary is a compute node's end-of-iteration report.
+type computeSummary struct {
+	compute        int
+	activated      int64
+	residual       float64
+	writebackBytes int64
+}
+
+// switchSummary is one switch actor's end-of-iteration traffic report.
+type switchSummary struct {
+	level    int
+	bytesIn  int64
+	bytesOut int64
+}
+
+// switchSpec describes one switch actor in the aggregation tree.
+type switchSpec struct {
+	level int
+	ctrl  chan ctrl
+	in    chan updateBatch
+	// children is the number of final markers to await per iteration
+	// (memory nodes for leaves, child switches otherwise).
+	children int
+	// parent is the next tree level's input; nil marks the root, which
+	// delivers to the compute nodes instead.
+	parent chan updateBatch
+}
+
+// driver wires the actors together and coordinates iterations.
+type driver struct {
+	g      *graph.Graph
+	k      kernels.Kernel
+	assign *partition.Assignment
+	cfg    Config
+
+	M, C int // memory nodes, compute nodes
+
+	memCtrl  []chan ctrl
+	compCtrl []chan ctrl
+
+	// switches is the aggregation tree (flat topology = one root);
+	// memTarget[m] is memory node m's leaf-switch input.
+	switches  []*switchSpec
+	levels    int
+	memTarget []chan updateBatch
+
+	compIn []chan updateBatch // root switch -> compute nodes
+	wbCh   []chan writebackBatch
+
+	summaryCh chan computeSummary
+	swSumCh   chan switchSummary
+	memReady  chan int
+	valuesCh  chan valueFragment
+}
+
+// valueFragment is a compute node's share of the final property vector.
+type valueFragment struct {
+	compute int
+	ids     []graph.VertexID
+	values  []float64
+}
+
+// owner maps a vertex to its compute node (vertex properties are
+// hash-partitioned across hosts, independent of the edge partitioning).
+func (d *driver) owner(v graph.VertexID) int {
+	return int((uint64(v) * 0x9e3779b97f4a7c15 >> 32) % uint64(d.C))
+}
+
+func newDriver(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) *driver {
+	d := &driver{
+		g: g, k: k, assign: assign, cfg: cfg,
+		M: assign.K, C: cfg.ComputeNodes,
+	}
+	depth := cfg.ChannelDepth
+	d.memCtrl = make([]chan ctrl, d.M)
+	d.wbCh = make([]chan writebackBatch, d.M)
+	for m := 0; m < d.M; m++ {
+		d.memCtrl[m] = make(chan ctrl, 1)
+		d.wbCh[m] = make(chan writebackBatch, depth)
+	}
+	d.compCtrl = make([]chan ctrl, d.C)
+	d.compIn = make([]chan updateBatch, d.C)
+	for c := 0; c < d.C; c++ {
+		d.compCtrl[c] = make(chan ctrl, 1)
+		d.compIn[c] = make(chan updateBatch, depth)
+	}
+	d.buildTree(depth)
+	d.summaryCh = make(chan computeSummary, d.C)
+	d.swSumCh = make(chan switchSummary, len(d.switches))
+	d.memReady = make(chan int, d.M)
+	d.valuesCh = make(chan valueFragment, d.C)
+	return d
+}
+
+// buildTree lays out the switch hierarchy: memory nodes feed leaf
+// switches in groups of fanIn, leaf switches feed parents likewise, until
+// a single root remains. A flat topology (TreeFanIn < 2) is a one-switch
+// tree.
+func (d *driver) buildTree(depth int) {
+	fanIn := d.cfg.TreeFanIn
+	if fanIn < 2 {
+		fanIn = d.M
+	}
+	if fanIn < 1 {
+		fanIn = 1
+	}
+	// Level 0: leaves fed by memory nodes.
+	count := d.M
+	level := 0
+	d.memTarget = make([]chan updateBatch, d.M)
+	var prev []*switchSpec
+	for {
+		num := (count + fanIn - 1) / fanIn
+		if num < 1 {
+			num = 1
+		}
+		cur := make([]*switchSpec, num)
+		for i := range cur {
+			cur[i] = &switchSpec{
+				level: level,
+				ctrl:  make(chan ctrl, 1),
+				in:    make(chan updateBatch, depth),
+			}
+		}
+		if level == 0 {
+			for m := 0; m < d.M; m++ {
+				s := cur[m/fanIn]
+				d.memTarget[m] = s.in
+				s.children++
+			}
+		} else {
+			for i, p := range prev {
+				s := cur[i/fanIn]
+				p.parent = s.in
+				s.children++
+			}
+		}
+		d.switches = append(d.switches, cur...)
+		prev = cur
+		count = num
+		level++
+		if num == 1 {
+			break
+		}
+	}
+	d.levels = level // number of switch levels; prev[0] is the root (parent nil)
+}
+
+// run spawns the actors and coordinates iterations to completion.
+func (d *driver) run() (*Outcome, error) {
+	g, k := d.g, d.k
+	n := g.NumVertices()
+	tr := k.Traits()
+
+	// Seed state before any goroutine starts (no synchronization needed).
+	initialValues := make([]float64, n)
+	for v := 0; v < n; v++ {
+		initialValues[v] = k.InitialValue(g, graph.VertexID(v))
+	}
+	initialActive := make([]map[graph.VertexID]float64, d.M)
+	for m := range initialActive {
+		initialActive[m] = make(map[graph.VertexID]float64)
+	}
+	seed := func(v graph.VertexID) {
+		initialActive[d.assign.Part(v)][v] = initialValues[v]
+	}
+	if init := k.InitialFrontier(g); init == nil {
+		for v := 0; v < n; v++ {
+			seed(graph.VertexID(v))
+		}
+	} else {
+		for _, v := range init {
+			seed(v)
+		}
+	}
+
+	for m := 0; m < d.M; m++ {
+		go d.memoryNode(m, initialActive[m])
+	}
+	for _, s := range d.switches {
+		go d.switchActor(s)
+	}
+	for c := 0; c < d.C; c++ {
+		owned := make(map[graph.VertexID]float64)
+		for v := 0; v < n; v++ {
+			if d.owner(graph.VertexID(v)) == c {
+				owned[graph.VertexID(v)] = initialValues[graph.VertexID(v)]
+			}
+		}
+		go d.computeNode(c, owned)
+	}
+
+	out := &Outcome{LevelBytes: make([]int64, d.levels)}
+	frontierNonEmpty := true
+	for iter := 0; iter < tr.MaxIterations && frontierNonEmpty; iter++ {
+		// Kick everyone off.
+		for _, s := range d.switches {
+			s.ctrl <- ctrlIterate
+		}
+		for c := 0; c < d.C; c++ {
+			d.compCtrl[c] <- ctrlIterate
+		}
+		for m := 0; m < d.M; m++ {
+			d.memCtrl[m] <- ctrlIterate
+		}
+		// Collect end-of-iteration reports.
+		var traffic Traffic
+		var activated int64
+		var residual float64
+		for i := 0; i < d.C; i++ {
+			s := <-d.summaryCh
+			activated += s.activated
+			residual += s.residual
+			traffic.Writeback += s.writebackBytes
+		}
+		for i := 0; i < len(d.switches); i++ {
+			sw := <-d.swSumCh
+			if sw.level == 0 {
+				traffic.MemToSwitch += sw.bytesIn
+			}
+			if sw.level == d.levels-1 {
+				traffic.SwitchToCompute += sw.bytesOut
+			}
+			out.LevelBytes[sw.level] += sw.bytesOut
+		}
+		for i := 0; i < d.M; i++ {
+			<-d.memReady
+		}
+		out.Iterations++
+		out.PerIteration = append(out.PerIteration, traffic)
+		out.Traffic.MemToSwitch += traffic.MemToSwitch
+		out.Traffic.SwitchToCompute += traffic.SwitchToCompute
+		out.Traffic.Writeback += traffic.Writeback
+
+		if tr.AllVerticesActive {
+			if tr.Epsilon > 0 && residual < tr.Epsilon {
+				out.Converged = true
+				frontierNonEmpty = false
+			}
+		} else if activated == 0 {
+			out.Converged = true
+			frontierNonEmpty = false
+		}
+	}
+	if frontierNonEmpty && out.Iterations >= tr.MaxIterations {
+		// Budget exhausted; fixed-point kernels count this as done.
+		out.Converged = out.Converged || tr.AllVerticesActive
+	} else {
+		out.Converged = true
+	}
+
+	// Shut down and gather values.
+	for m := 0; m < d.M; m++ {
+		d.memCtrl[m] <- ctrlShutdown
+	}
+	for _, s := range d.switches {
+		s.ctrl <- ctrlShutdown
+	}
+	for c := 0; c < d.C; c++ {
+		d.compCtrl[c] <- ctrlShutdown
+	}
+	values := make([]float64, n)
+	for i := 0; i < d.C; i++ {
+		frag := <-d.valuesCh
+		for j, v := range frag.ids {
+			values[v] = frag.values[j]
+		}
+	}
+	out.Values = values
+	return out, nil
+}
+
+// memoryNode is the NDP unit on memory node m: it holds the edge
+// partition for the vertices assigned to m, keeps the freshest properties
+// of its active vertices (delivered by write-backs), and runs the
+// traversal phase on command.
+func (d *driver) memoryNode(m int, active map[graph.VertexID]float64) {
+	g, k := d.g, d.k
+	for cmd := range d.memCtrl[m] {
+		if cmd == ctrlShutdown {
+			return
+		}
+		// Traversal phase: scatter along out-edges of active vertices,
+		// pre-aggregating per destination (this local reduction is what
+		// turns edge traffic into per-destination partial updates).
+		partials := make(map[graph.VertexID]float64)
+		for v, val := range active {
+			deg := g.OutDegree(v)
+			lo, hi := g.EdgeRange(v)
+			nbrs := g.Edges()[lo:hi]
+			wts := g.Weights()
+			for i, dst := range nbrs {
+				w := float32(1)
+				if wts != nil {
+					w = wts[lo+int64(i)]
+				}
+				u, ok := k.Scatter(kernels.EdgeContext{
+					Src: v, Dst: dst, SrcValue: val, Weight: w, SrcOutDegree: deg,
+				})
+				if !ok {
+					continue
+				}
+				if prev, seen := partials[dst]; seen {
+					partials[dst] = k.Aggregate(prev, u)
+				} else {
+					partials[dst] = u
+				}
+			}
+		}
+		batch := make([]Update, 0, batchSize)
+		flush := func(final bool) {
+			d.memTarget[m] <- updateBatch{mem: m, updates: batch, final: final}
+			batch = make([]Update, 0, batchSize)
+		}
+		for dst, val := range partials {
+			batch = append(batch, Update{Vertex: dst, Value: val})
+			if len(batch) == batchSize {
+				flush(false)
+			}
+		}
+		flush(true)
+
+		// Write-back phase: refresh the active set from the hosts.
+		next := make(map[graph.VertexID]float64, len(active))
+		finals := 0
+		for finals < d.C {
+			wb := <-d.wbCh[m]
+			for _, u := range wb.updates {
+				next[u.Vertex] = u.Value
+			}
+			if wb.final {
+				finals++
+			}
+		}
+		active = next
+		d.memReady <- m
+	}
+}
+
+// switchActor is one in-network element of the aggregation tree. It
+// receives partial-update batches from its children (memory nodes for
+// leaves, child switches otherwise), optionally merges updates for the
+// same destination, and forwards the stream to its parent — or, at the
+// root, routes each update to the compute node owning its destination.
+func (d *driver) switchActor(s *switchSpec) {
+	k := d.k
+	isRoot := s.parent == nil
+	for cmd := range s.ctrl {
+		if cmd == ctrlShutdown {
+			return
+		}
+		sum := switchSummary{level: s.level}
+
+		// Output paths: per-compute batches at the root, a single parent
+		// stream otherwise.
+		outBatch := make([][]Update, d.C)
+		sendRoot := func(c int, final bool) {
+			sum.bytesOut += int64(len(outBatch[c])) * UpdateBytes
+			d.compIn[c] <- updateBatch{updates: outBatch[c], final: final}
+			outBatch[c] = nil
+		}
+		var upBatch []Update
+		sendUp := func(final bool) {
+			sum.bytesOut += int64(len(upBatch)) * UpdateBytes
+			s.parent <- updateBatch{updates: upBatch, final: final}
+			upBatch = nil
+		}
+		emit := func(u Update) {
+			if isRoot {
+				c := d.owner(u.Vertex)
+				outBatch[c] = append(outBatch[c], u)
+				if len(outBatch[c]) == batchSize {
+					sendRoot(c, false)
+				}
+				return
+			}
+			upBatch = append(upBatch, u)
+			if len(upBatch) == batchSize {
+				sendUp(false)
+			}
+		}
+
+		var agg map[graph.VertexID]float64
+		if d.cfg.Aggregate {
+			agg = make(map[graph.VertexID]float64)
+		}
+		finals := 0
+		for finals < s.children {
+			b := <-s.in
+			sum.bytesIn += int64(len(b.updates)) * UpdateBytes
+			if agg != nil {
+				for _, u := range b.updates {
+					if prev, seen := agg[u.Vertex]; seen {
+						agg[u.Vertex] = k.Aggregate(prev, u.Value)
+					} else {
+						agg[u.Vertex] = u.Value
+					}
+				}
+			} else {
+				for _, u := range b.updates {
+					emit(u)
+				}
+			}
+			if b.final {
+				finals++
+			}
+		}
+		if agg != nil {
+			for v, val := range agg {
+				emit(Update{Vertex: v, Value: val})
+			}
+		}
+		if isRoot {
+			for c := 0; c < d.C; c++ {
+				sendRoot(c, true)
+			}
+		} else {
+			sendUp(true)
+		}
+		d.swSumCh <- sum
+	}
+}
+
+// computeNode owns a hash-share of the vertex properties: it reduces the
+// incoming partial updates, runs the update phase, and writes refreshed
+// properties back to the memory node holding each vertex's edge list.
+func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
+	g, k := d.g, d.k
+	tr := k.Traits()
+	for cmd := range d.compCtrl[c] {
+		if cmd == ctrlShutdown {
+			break
+		}
+		// Reduce phase: merge switch deliveries per destination.
+		agg := make(map[graph.VertexID]float64)
+		finals := 0
+		for finals < 1 { // the switch sends exactly one final marker per compute node
+			b := <-d.compIn[c]
+			for _, u := range b.updates {
+				if prev, seen := agg[u.Vertex]; seen {
+					agg[u.Vertex] = k.Aggregate(prev, u.Value)
+				} else {
+					agg[u.Vertex] = u.Value
+				}
+			}
+			if b.final {
+				finals++
+			}
+		}
+
+		// Update phase.
+		sum := computeSummary{compute: c}
+		wbBatches := make([][]Update, d.M)
+		writeback := func(v graph.VertexID, val float64) {
+			m := d.assign.Part(v)
+			wbBatches[m] = append(wbBatches[m], Update{Vertex: v, Value: val})
+			sum.writebackBytes += UpdateBytes
+		}
+		if tr.AllVerticesActive {
+			for v, old := range values {
+				a, has := agg[v]
+				if !has {
+					a = k.Identity()
+				}
+				nv, _ := k.Apply(g, v, old, a, has)
+				sum.residual += math.Abs(nv - old)
+				values[v] = nv
+				sum.activated++
+				writeback(v, nv)
+			}
+		} else {
+			for v, a := range agg {
+				old := values[v]
+				nv, activate := k.Apply(g, v, old, a, true)
+				values[v] = nv
+				if activate {
+					sum.activated++
+					writeback(v, nv)
+				}
+			}
+		}
+		for m := 0; m < d.M; m++ {
+			updates := wbBatches[m]
+			for len(updates) > batchSize {
+				d.wbCh[m] <- writebackBatch{compute: c, updates: updates[:batchSize]}
+				updates = updates[batchSize:]
+			}
+			d.wbCh[m] <- writebackBatch{compute: c, updates: updates, final: true}
+		}
+		d.summaryCh <- sum
+	}
+	// Shutdown: deliver the owned value fragment.
+	frag := valueFragment{compute: c}
+	for v, val := range values {
+		frag.ids = append(frag.ids, v)
+		frag.values = append(frag.values, val)
+	}
+	d.valuesCh <- frag
+}

@@ -1,0 +1,218 @@
+// Package core is the public face of the framework: it wires a graph, a
+// kernel, a partitioner, an architecture, and an offload policy into one
+// runnable system, so downstream users don't assemble the pieces by hand.
+//
+// Minimal use:
+//
+//	g, _ := gen.ComLiveJournal.Generate(1, gen.Config{Seed: 1})
+//	sys, _ := core.New(core.DisaggregatedNDP, core.WithMemoryNodes(16))
+//	run, _ := sys.Run(g, kernels.NewPageRank(20, 0.85))
+//	fmt.Println(run.TotalDataMovementBytes)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// Arch selects the simulated system architecture (the rows of Table II).
+type Arch int
+
+// Architectures.
+const (
+	// Distributed is Gluon-style execution on general-purpose servers.
+	Distributed Arch = iota
+	// DistributedNDP is GraphQ-style PIM-accelerated distributed execution.
+	DistributedNDP
+	// Disaggregated is far-memory execution with passive memory pools.
+	Disaggregated
+	// DisaggregatedNDP is this paper's architecture: NDP-capable memory
+	// pools plus optional in-network aggregation.
+	DisaggregatedNDP
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case Distributed:
+		return "distributed"
+	case DistributedNDP:
+		return "distributed-ndp"
+	case Disaggregated:
+		return "disaggregated"
+	case DisaggregatedNDP:
+		return "disaggregated-ndp"
+	default:
+		return fmt.Sprintf("Arch(%d)", int(a))
+	}
+}
+
+// Architectures lists all four in Table II order.
+func Architectures() []Arch {
+	return []Arch{Distributed, DistributedNDP, Disaggregated, DisaggregatedNDP}
+}
+
+// System is a configured deployment target.
+type System struct {
+	arch        Arch
+	topo        sim.Topology
+	partitioner partition.Partitioner
+	policy      sim.OffloadPolicy
+	aggregation bool
+}
+
+// Option configures a System.
+type Option func(*System)
+
+// WithComputeNodes sets the host count (default 2).
+func WithComputeNodes(n int) Option {
+	return func(s *System) { s.topo.ComputeNodes = n }
+}
+
+// WithMemoryNodes sets the memory-pool width / partition count (default 8).
+func WithMemoryNodes(n int) Option {
+	return func(s *System) { s.topo.MemoryNodes = n }
+}
+
+// WithTopology replaces the whole topology (node counts included).
+func WithTopology(t sim.Topology) Option {
+	return func(s *System) { s.topo = t }
+}
+
+// WithPartitioner selects the edge-list partitioning strategy (default
+// multilevel min-cut — the strategy Figure 6 shows the runtime needs).
+func WithPartitioner(p partition.Partitioner) Option {
+	return func(s *System) { s.partitioner = p }
+}
+
+// WithPolicy selects the offload policy (default the dynamic heuristic).
+func WithPolicy(p sim.OffloadPolicy) Option {
+	return func(s *System) { s.policy = p }
+}
+
+// WithAggregation toggles in-network aggregation (default on for
+// DisaggregatedNDP).
+func WithAggregation(enabled bool) Option {
+	return func(s *System) { s.aggregation = enabled }
+}
+
+// New builds a System for the architecture with sensible defaults: 2
+// compute nodes, 8 memory nodes, multilevel partitioning, the dynamic
+// offload heuristic, and in-network aggregation when the architecture
+// supports it.
+func New(arch Arch, opts ...Option) (*System, error) {
+	s := &System{
+		arch:        arch,
+		topo:        sim.DefaultTopology(2, 8),
+		partitioner: partition.Multilevel{},
+		policy:      runtime.Heuristic{},
+		aggregation: arch == DisaggregatedNDP,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.topo.Validate(); err != nil {
+		return nil, err
+	}
+	switch arch {
+	case Distributed, DistributedNDP, Disaggregated, DisaggregatedNDP:
+	default:
+		return nil, fmt.Errorf("core: unknown architecture %d", int(arch))
+	}
+	return s, nil
+}
+
+// Arch returns the configured architecture.
+func (s *System) Arch() Arch { return s.arch }
+
+// Topology returns the configured topology.
+func (s *System) Topology() sim.Topology { return s.topo }
+
+// Partition partitions g for this system's memory pool.
+func (s *System) Partition(g *graph.Graph) (*partition.Assignment, error) {
+	return s.partitioner.Partition(g, s.topo.MemoryNodes)
+}
+
+// engine assembles the sim engine for a prepared assignment.
+func (s *System) engine(assign *partition.Assignment) sim.Engine {
+	switch s.arch {
+	case Distributed:
+		return &sim.Distributed{Topo: s.topo, Assign: assign}
+	case DistributedNDP:
+		return &sim.DistributedNDP{Topo: s.topo, Assign: assign}
+	case Disaggregated:
+		return &sim.Disaggregated{Topo: s.topo, Assign: assign}
+	default:
+		return &sim.DisaggregatedNDP{
+			Topo: s.topo, Assign: assign,
+			Policy:               s.policy,
+			InNetworkAggregation: s.aggregation,
+		}
+	}
+}
+
+// Run partitions the graph and executes the kernel on the configured
+// architecture, returning the full per-iteration record.
+func (s *System) Run(g *graph.Graph, k kernels.Kernel) (*sim.Run, error) {
+	assign, err := s.Partition(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning: %w", err)
+	}
+	return s.RunWithAssignment(g, k, assign)
+}
+
+// RunWithAssignment executes the kernel with a caller-provided partition
+// assignment (reuse one assignment across kernels to amortise
+// partitioning cost).
+func (s *System) RunWithAssignment(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*sim.Run, error) {
+	return s.engine(assign).Run(g, k)
+}
+
+// RunConcurrent executes the kernel on the *concurrent actor
+// implementation* of the disaggregated NDP architecture (package cluster)
+// instead of the analytical simulator: memory-node, switch, and
+// compute-node goroutines exchanging real messages. Only meaningful for
+// the DisaggregatedNDP architecture; other architectures return an error.
+// treeFanIn >= 2 selects a SHARP-style hierarchical aggregation tree.
+func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel, treeFanIn int) (*cluster.Outcome, error) {
+	if s.arch != DisaggregatedNDP {
+		return nil, fmt.Errorf("core: concurrent execution models the disaggregated NDP architecture; got %s", s.arch)
+	}
+	assign, err := s.Partition(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning: %w", err)
+	}
+	return cluster.Run(g, k, assign, cluster.Config{
+		ComputeNodes: s.topo.ComputeNodes,
+		Aggregate:    s.aggregation,
+		TreeFanIn:    treeFanIn,
+	})
+}
+
+// Compare runs the kernel on all four architectures with this system's
+// topology and partitioner, returning runs in Table II order. All runs
+// share one partition assignment, so the comparison isolates the
+// architecture.
+func (s *System) Compare(g *graph.Graph, k kernels.Kernel) ([]*sim.Run, error) {
+	assign, err := s.Partition(g)
+	if err != nil {
+		return nil, fmt.Errorf("core: partitioning: %w", err)
+	}
+	runs := make([]*sim.Run, 0, 4)
+	for _, arch := range Architectures() {
+		clone := *s
+		clone.arch = arch
+		run, err := clone.RunWithAssignment(g, k, assign)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %w", arch, err)
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}

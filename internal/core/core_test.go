@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+func coreGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.ComLiveJournal.Generate(0.25, gen.Config{Seed: 11, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewDefaults(t *testing.T) {
+	s, err := New(DisaggregatedNDP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Arch() != DisaggregatedNDP {
+		t.Errorf("arch = %v", s.Arch())
+	}
+	topo := s.Topology()
+	if topo.ComputeNodes != 2 || topo.MemoryNodes != 8 {
+		t.Errorf("default topology %d/%d, want 2/8", topo.ComputeNodes, topo.MemoryNodes)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(DisaggregatedNDP, WithComputeNodes(0)); err == nil {
+		t.Error("accepted zero compute nodes")
+	}
+	if _, err := New(Arch(99)); err == nil {
+		t.Error("accepted unknown architecture")
+	}
+}
+
+func TestRunAllArchitectures(t *testing.T) {
+	g := coreGraph(t)
+	k := kernels.NewPageRank(5, 0.85)
+	ref, err := kernels.RunSerial(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arch := range Architectures() {
+		s, err := New(arch, WithMemoryNodes(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := s.Run(g, k)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if run.TotalDataMovementBytes <= 0 {
+			t.Errorf("%s: no movement recorded", arch)
+		}
+		for i := range run.Result.Values {
+			if d := math.Abs(run.Result.Values[i] - ref.Values[i]); d > 1e-12 {
+				t.Fatalf("%s: value[%d] off by %g", arch, i, d)
+			}
+		}
+	}
+}
+
+func TestCompareIsTableIIOrdered(t *testing.T) {
+	g := coreGraph(t)
+	s, err := New(DisaggregatedNDP, WithMemoryNodes(16), WithPolicy(sim.AlwaysOffload{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Compare(g, kernels.NewPageRank(5, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d runs", len(runs))
+	}
+	wantOrder := []string{"distributed", "distributed-ndp", "disaggregated", "disaggregated-ndp+inc"}
+	for i, run := range runs {
+		if run.Engine != wantOrder[i] {
+			t.Errorf("runs[%d] = %s, want %s", i, run.Engine, wantOrder[i])
+		}
+	}
+	// The paper's Table II: disaggregated NDP moves the least data among
+	// the four architectures and syncs less than the distributed rows.
+	dndp := runs[3]
+	for i, run := range runs[:3] {
+		if dndp.TotalDataMovementBytes > run.TotalDataMovementBytes {
+			t.Errorf("disaggregated NDP moved more than %s: %d > %d",
+				wantOrder[i], dndp.TotalDataMovementBytes, run.TotalDataMovementBytes)
+		}
+	}
+	if dndp.TotalSyncEvents >= runs[0].TotalSyncEvents {
+		t.Errorf("disaggregated NDP sync %d not below distributed %d",
+			dndp.TotalSyncEvents, runs[0].TotalSyncEvents)
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	topo := sim.DefaultTopology(4, 32)
+	s, err := New(Disaggregated,
+		WithTopology(topo),
+		WithPartitioner(partition.Hash{}),
+		WithPolicy(runtime.Oracle{}),
+		WithAggregation(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology().ComputeNodes != 4 || s.Topology().MemoryNodes != 32 {
+		t.Errorf("topology option ignored: %+v", s.Topology())
+	}
+	g := coreGraph(t)
+	a, err := s.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.K != 32 {
+		t.Errorf("partition K = %d, want 32", a.K)
+	}
+}
+
+func TestRunWithAssignmentReuse(t *testing.T) {
+	g := coreGraph(t)
+	s, err := New(DisaggregatedNDP, WithMemoryNodes(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := s.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.RunWithAssignment(g, kernels.NewBFS(0), assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.RunWithAssignment(g, kernels.NewConnectedComponents(), assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Kernel == r2.Kernel {
+		t.Error("kernel names collide")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	names := map[Arch]string{
+		Distributed:      "distributed",
+		DistributedNDP:   "distributed-ndp",
+		Disaggregated:    "disaggregated",
+		DisaggregatedNDP: "disaggregated-ndp",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), want)
+		}
+	}
+	if Arch(42).String() == "" {
+		t.Error("unknown arch string empty")
+	}
+}
+
+func TestRunConcurrentMatchesSimulator(t *testing.T) {
+	g := coreGraph(t)
+	s, err := New(DisaggregatedNDP, WithMemoryNodes(8), WithPolicy(sim.AlwaysOffload{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.NewPageRank(5, 0.85)
+	simRun, err := s.Run(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.RunConcurrent(g, k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Traffic.Total() != simRun.TotalDataMovementBytes {
+		t.Errorf("concurrent traffic %d != simulated %d", out.Traffic.Total(), simRun.TotalDataMovementBytes)
+	}
+	for v := range simRun.Result.Values {
+		if d := math.Abs(out.Values[v] - simRun.Result.Values[v]); d > 1e-9 {
+			t.Fatalf("value[%d] differs by %g", v, d)
+		}
+	}
+}
+
+func TestRunConcurrentRejectsOtherArchitectures(t *testing.T) {
+	g := coreGraph(t)
+	s, err := New(Distributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunConcurrent(g, kernels.NewBFS(0), 0); err == nil {
+		t.Error("accepted concurrent execution of the distributed architecture")
+	}
+}

@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/kernels"
+)
+
+// Example runs PageRank on the simulated disaggregated NDP system and
+// prints the movement ledger's totals — the package's minimal workflow.
+func Example() {
+	g, err := gen.ComLiveJournal.Generate(0.125, gen.Config{Seed: 1, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.New(core.DisaggregatedNDP, core.WithMemoryNodes(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := sys.Run(g, kernels.NewPageRank(5, 0.85))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("engine:", run.Engine)
+	fmt.Println("iterations:", run.Result.Iterations)
+	fmt.Println("offload supported:", run.OffloadSupported)
+	// Output:
+	// engine: disaggregated-ndp+inc
+	// iterations: 5
+	// offload supported: true
+}
+
+// ExampleSystem_Compare contrasts all four architectures of the paper's
+// Table II on one workload and identical partitions.
+func ExampleSystem_Compare() {
+	g, err := gen.WikiTalk.Generate(0.125, gen.Config{Seed: 1, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := core.New(core.DisaggregatedNDP, core.WithMemoryNodes(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	runs, err := sys.Compare(g, kernels.NewBFS(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, run := range runs {
+		fmt.Println(run.Engine)
+	}
+	// Output:
+	// distributed
+	// distributed-ndp
+	// disaggregated
+	// disaggregated-ndp+inc
+}

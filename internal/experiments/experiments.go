@@ -1,0 +1,155 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation. Each artifact has an id (table1, table2, fig4, fig5, fig6,
+// fig7a, fig7b, fig7c, dyn), a constructor that runs the corresponding
+// workloads on the simulator, and a renderable result. DESIGN.md's
+// per-experiment index maps each id to the paper artifact, workload, and
+// modules involved.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// Config parameterises an experiment run. The zero value is usable: it
+// selects the default dataset scale and seed.
+type Config struct {
+	// Scale multiplies the synthetic datasets' base sizes (default 0.5,
+	// which keeps the full suite under a minute on a laptop).
+	Scale float64
+	// Seed drives dataset generation.
+	Seed uint64
+	// PageRankIterations bounds PR runs (default 10).
+	PageRankIterations int
+	// ComputeNodes is the host count for disaggregated topologies
+	// (default 2).
+	ComputeNodes int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.PageRankIterations <= 0 {
+		c.PageRankIterations = 10
+	}
+	if c.ComputeNodes <= 0 {
+		c.ComputeNodes = 2
+	}
+	return c
+}
+
+// Artifact is a regenerated table or figure.
+type Artifact struct {
+	ID    string
+	Title string
+	// Table holds the numbers (always present).
+	Table *metrics.Table
+	// Series holds per-iteration or per-sweep-point lines for figures.
+	Series []metrics.Series
+	// XLabel names the series' x axis.
+	XLabel string
+	// Notes records the qualitative paper-shape observations the run
+	// exhibited (or violated).
+	Notes []string
+}
+
+// runner builds one artifact.
+type runner struct {
+	id    string
+	title string
+	fn    func(Config) (*Artifact, error)
+}
+
+func registry() []runner {
+	return []runner{
+		{"table1", "Table I: NDP hardware characteristics", Table1},
+		{"table2", "Table II: architecture comparison", Table2},
+		{"fig4", "Figure 4: compute vs memory requirements", Fig4},
+		{"fig5", "Figure 5: impact of offloading traversals", Fig5},
+		{"fig6", "Figure 6: partitioning and in-network aggregation", Fig6},
+		{"fig7a", "Figure 7a: per-iteration movement (CC, twitter7, 32 parts)", Fig7a},
+		{"fig7b", "Figure 7b: per-iteration movement (BFS, LiveJournal, 16 parts)", Fig7b},
+		{"fig7c", "Figure 7c: per-iteration movement (PR, uk-2005, 80 parts)", Fig7c},
+		{"dyn", "Section IV-D: dynamic offload policies", Dynamic},
+		{"mixed", "Ablation: global vs per-partition offload", Mixed},
+		{"energy", "Ablation: modeled energy per architecture", Energy},
+		{"cache", "Ablation: host edge cache vs NDP offload", Cache},
+		{"hetero", "Ablation: device heterogeneity vs offload", Hetero},
+		{"straggler", "Ablation: partition balance vs NDP time", Straggler},
+		{"tree", "Ablation: hierarchical in-network aggregation", Tree},
+	}
+}
+
+// IDs lists the artifact ids in evaluation order.
+func IDs() []string {
+	rs := registry()
+	ids := make([]string, len(rs))
+	for i, r := range rs {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+// Run regenerates one artifact by id.
+func Run(id string, cfg Config) (*Artifact, error) {
+	for _, r := range registry() {
+		if r.id == id {
+			return r.fn(cfg)
+		}
+	}
+	ids := IDs()
+	sort.Strings(ids)
+	return nil, fmt.Errorf("experiments: unknown artifact %q (have %v)", id, ids)
+}
+
+// --- shared plumbing -----------------------------------------------------
+
+// dataset generates a named stand-in at the config's scale.
+func dataset(cfg Config, ds gen.Dataset) (*graph.Graph, error) {
+	g, err := ds.Generate(cfg.Scale, gen.Config{Seed: cfg.Seed, Weighted: true, DropSelfLoops: true})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", ds.Name, err)
+	}
+	return g, nil
+}
+
+// partitioned returns a hash assignment and matching topology.
+func partitioned(cfg Config, g *graph.Graph, parts int, p partition.Partitioner) (*partition.Assignment, sim.Topology, error) {
+	a, err := p.Partition(g, parts)
+	if err != nil {
+		return nil, sim.Topology{}, err
+	}
+	return a, sim.DefaultTopology(cfg.ComputeNodes, parts), nil
+}
+
+// movement runs the engine and returns total headline bytes.
+func movement(e sim.Engine, g *graph.Graph, k kernels.Kernel) (int64, *sim.Run, error) {
+	run, err := e.Run(g, k)
+	if err != nil {
+		return 0, nil, err
+	}
+	return run.TotalDataMovementBytes, run, nil
+}
+
+func note(a *Artifact, format string, args ...interface{}) {
+	a.Notes = append(a.Notes, fmt.Sprintf(format, args...))
+}
+
+// ratio guards division by zero.
+func ratio(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

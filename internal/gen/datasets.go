@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Dataset is a named synthetic stand-in for one of the real-world graphs
+// in the paper's evaluation. RealVertices/RealEdges document the original
+// graph; Generate produces the stand-in at a size scaled by `scale`
+// (scale=1 is the default laptop-friendly size, ~1000x smaller than the
+// original, preserving the edge:vertex ratio and skew profile).
+type Dataset struct {
+	Name         string
+	Description  string
+	RealVertices int64
+	RealEdges    int64
+	// BaseVertices is the stand-in's vertex count at scale 1.
+	BaseVertices int
+	Generate     func(scale float64, cfg Config) (*graph.Graph, error)
+}
+
+func scaled(base int, scale float64) int {
+	n := int(float64(base) * scale)
+	if n < 16 {
+		n = 16
+	}
+	return n
+}
+
+// Twitter7 stands in for the Twitter7 follower graph (41M vertices, 1.4B
+// edges, mean degree ~35, extreme power-law skew). Generated as RMAT with
+// Graph500 parameters, which reproduces the hub-dominated degree tail.
+var Twitter7 = Dataset{
+	Name:         "twitter7",
+	Description:  "social follower graph stand-in (RMAT, heavy power-law, mean deg ~35)",
+	RealVertices: 41_652_230,
+	RealEdges:    1_468_365_182,
+	BaseVertices: 1 << 15,
+	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
+		n := scaled(1<<15, scale)
+		// Round up to a power of two for RMAT.
+		s := 0
+		for (1 << s) < n {
+			s++
+		}
+		return RMATGraph500(s, 35, cfg)
+	},
+}
+
+// UK2005 stands in for the UK-2005 web crawl (39M vertices, 936M edges,
+// mean degree ~24, strong host-level link locality). Generated as a
+// planted-community graph with a hub overlay: web graphs cluster tightly
+// by site, which is what makes min-cut partitioning effective on them.
+var UK2005 = Dataset{
+	Name:         "uk-2005",
+	Description:  "web crawl stand-in (community-clustered, hub overlay, mean deg ~24)",
+	RealVertices: 39_459_925,
+	RealEdges:    936_364_282,
+	BaseVertices: 1 << 15,
+	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
+		n := scaled(1<<15, scale)
+		return communityWithHubs(n, maxInt(8, n/512), 22, 0.92, maxInt(4, n/4096), n/16, cfg)
+	},
+}
+
+// ComLiveJournal stands in for com-LiveJournal (3M vertices, 69M edges,
+// mean degree ~17, pronounced community structure). This is the graph the
+// paper uses for Figure 6, where METIS partitioning sharply reduces
+// cross-partition partial updates — so community structure is the property
+// the stand-in must reproduce.
+var ComLiveJournal = Dataset{
+	Name:         "com-livejournal",
+	Description:  "social community graph stand-in (planted partitions, mean deg ~17)",
+	RealVertices: 3_997_962,
+	RealEdges:    69_362_378,
+	BaseVertices: 1 << 14,
+	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
+		n := scaled(1<<14, scale)
+		return communityWithHubs(n, maxInt(8, n/256), 17, 0.85, maxInt(2, n/8192), n/32, cfg)
+	},
+}
+
+// WikiTalk stands in for wiki-Talk (2.4M vertices, 5M edges, mean degree
+// ~2). Its topology — a handful of extreme hubs, a long tail of vertices
+// with zero or one out-edge — is the case where the paper shows NDP
+// offload *increasing* data movement: 16-byte partial updates outweigh
+// 8-byte edge fetches when frontier vertices have tiny fan-out.
+var WikiTalk = Dataset{
+	Name:         "wiki-talk",
+	Description:  "communication graph stand-in (extreme hubs, mean deg ~2)",
+	RealVertices: 2_394_385,
+	RealEdges:    5_021_410,
+	BaseVertices: 1 << 15,
+	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
+		n := scaled(1<<15, scale)
+		hubs := maxInt(4, n/512)
+		return SkewedStar(n, hubs, n/24, 3, cfg)
+	},
+}
+
+// Datasets lists all named stand-ins in a stable order.
+func Datasets() []Dataset {
+	return []Dataset{Twitter7, UK2005, ComLiveJournal, WikiTalk}
+}
+
+// ByName returns the dataset with the given name.
+func ByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	names := make([]string, 0, 4)
+	for _, d := range Datasets() {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return Dataset{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// communityWithHubs layers a small number of high-degree hubs over a
+// planted-community base graph, approximating natural graphs that have
+// both locality and a heavy degree tail. Hub vertices are spread uniformly
+// across the id space so that they land in different partitions.
+func communityWithHubs(n, communities, degree int, pIn float64, hubs, hubDeg int, cfg Config) (*graph.Graph, error) {
+	if n <= 0 || communities <= 0 || communities > n || pIn < 0 || pIn > 1 {
+		return nil, fmt.Errorf("gen: communityWithHubs invalid n=%d c=%d pIn=%v", n, communities, pIn)
+	}
+	r := newRNG(cfg.Seed)
+	b := graph.NewBuilder(n)
+	if cfg.DropSelfLoops {
+		b.DropSelfLoops()
+	}
+	size := n / communities
+	for v := 0; v < n; v++ {
+		c := v / size
+		if c >= communities {
+			c = communities - 1
+		}
+		lo := c * size
+		hi := lo + size
+		if c == communities-1 {
+			hi = n
+		}
+		for e := 0; e < degree; e++ {
+			var dst int
+			if r.float64() < pIn {
+				dst = lo + r.intn(hi-lo)
+			} else {
+				dst = r.intn(n)
+			}
+			b.AddEdge(graph.VertexID(v), graph.VertexID(dst), r.float32())
+		}
+	}
+	if hubs > 0 && hubDeg > 0 {
+		stride := n / hubs
+		if stride == 0 {
+			stride = 1
+		}
+		for h := 0; h < hubs; h++ {
+			hub := graph.VertexID((h * stride) % n)
+			for e := 0; e < hubDeg; e++ {
+				b.AddEdge(hub, graph.VertexID(r.intn(n)), r.float32())
+			}
+		}
+	}
+	return cfg.finish(b)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

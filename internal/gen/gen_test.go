@@ -1,0 +1,379 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := newRNG(7), newRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := newRNG(8)
+	same := true
+	a = newRNG(7)
+	for i := 0; i < 10; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := newRNG(1)
+	for i := 0; i < 1000; i++ {
+		v := r.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("intn(0) did not panic")
+		}
+	}()
+	newRNG(1).intn(0)
+}
+
+func TestRMATBasic(t *testing.T) {
+	g, err := RMATGraph500(10, 8, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1024 {
+		t.Errorf("V = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() == 0 || g.NumEdges() > 8*1024 {
+		t.Errorf("E = %d, want (0, 8192]", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("invalid CSR: %v", err)
+	}
+}
+
+func TestRMATSkewed(t *testing.T) {
+	g, err := RMATGraph500(12, 16, Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.GiniOutDeg < 0.4 {
+		t.Errorf("RMAT gini = %.3f, want skewed (>0.4)", s.GiniOutDeg)
+	}
+	if s.MaxOutDeg < 10*int64(s.MeanOutDeg) {
+		t.Errorf("RMAT max degree %d not heavy-tailed vs mean %.1f", s.MaxOutDeg, s.MeanOutDeg)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	g1, err := RMATGraph500(8, 4, Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := RMATGraph500(8, 4, Config{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", g1.NumEdges(), g2.NumEdges())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(-1, 4, 0.5, 0.2, 0.2, Config{}); err == nil {
+		t.Error("accepted negative scale")
+	}
+	if _, err := RMAT(5, 4, 0.6, 0.3, 0.3, Config{}); err == nil {
+		t.Error("accepted probabilities summing over 1")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(500, 2000, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 500 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+	s := graph.ComputeStats(g)
+	if s.GiniOutDeg > 0.4 {
+		t.Errorf("ER gini = %.3f, want low skew", s.GiniOutDeg)
+	}
+}
+
+func TestErdosRenyiRejectsBadN(t *testing.T) {
+	if _, err := ErdosRenyi(0, 10, Config{}); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+func TestPreferentialAttachment(t *testing.T) {
+	g, err := PreferentialAttachment(2000, 4, Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+	// In-degree should be heavy-tailed: early vertices accumulate links.
+	in := g.InDegrees()
+	var maxIn int64
+	for _, d := range in {
+		if d > maxIn {
+			maxIn = d
+		}
+	}
+	mean := float64(g.NumEdges()) / float64(g.NumVertices())
+	if float64(maxIn) < 8*mean {
+		t.Errorf("PA max in-degree %d vs mean %.1f: tail not heavy", maxIn, mean)
+	}
+}
+
+func TestPreferentialAttachmentClampsK(t *testing.T) {
+	g, err := PreferentialAttachment(3, 10, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	g, err := WattsStrogatz(100, 3, 0.1, Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MeanOutDeg < 2.5 || s.MeanOutDeg > 3.0 {
+		t.Errorf("WS mean degree %.2f, want ~3", s.MeanOutDeg)
+	}
+}
+
+func TestSkewedStarShape(t *testing.T) {
+	g, err := SkewedStar(5000, 5, 800, 1, Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MeanOutDeg > 3 {
+		t.Errorf("SkewedStar mean degree %.2f, want small (~1-2)", s.MeanOutDeg)
+	}
+	if s.GiniOutDeg < 0.5 {
+		t.Errorf("SkewedStar gini %.3f, want high skew", s.GiniOutDeg)
+	}
+	if s.MaxOutDeg < 100 {
+		t.Errorf("SkewedStar max degree %d, want hub-sized", s.MaxOutDeg)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := Grid(10, 10, Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 100 {
+		t.Errorf("V = %d", g.NumVertices())
+	}
+	// Interior vertex has degree 4.
+	if d := g.OutDegree(55); d != 4 {
+		t.Errorf("interior degree = %d, want 4", d)
+	}
+	// Corner has degree 2.
+	if d := g.OutDegree(0); d != 2 {
+		t.Errorf("corner degree = %d, want 2", d)
+	}
+}
+
+func TestCommunityLocality(t *testing.T) {
+	const n, c = 1000, 10
+	g, err := Community(n, c, 8, 0.95, Config{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := n / c
+	var in, out int64
+	g.ForEachEdge(func(s, d graph.VertexID, w float32) bool {
+		if int(s)/size == int(d)/size {
+			in++
+		} else {
+			out++
+		}
+		return true
+	})
+	frac := float64(in) / float64(in+out)
+	if frac < 0.85 {
+		t.Errorf("intra-community fraction %.2f, want >= 0.85", frac)
+	}
+}
+
+func TestDatasetCatalog(t *testing.T) {
+	ds := Datasets()
+	if len(ds) != 4 {
+		t.Fatalf("catalog has %d datasets, want 4", len(ds))
+	}
+	for _, d := range ds {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			g, err := d.Generate(0.125, Config{Seed: 42, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("invalid graph: %v", err)
+			}
+			if g.NumVertices() < 16 || g.NumEdges() == 0 {
+				t.Errorf("degenerate graph V=%d E=%d", g.NumVertices(), g.NumEdges())
+			}
+			// The stand-in must roughly preserve the real edge:vertex ratio
+			// (within 3x — dedup and scaling shave some edges).
+			realRatio := float64(d.RealEdges) / float64(d.RealVertices)
+			gotRatio := float64(g.NumEdges()) / float64(g.NumVertices())
+			if gotRatio > 3*realRatio || gotRatio < realRatio/3 {
+				t.Errorf("edge ratio %.1f vs real %.1f: off by more than 3x", gotRatio, realRatio)
+			}
+		})
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("wiki-talk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "wiki-talk" {
+		t.Errorf("got %q", d.Name)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown dataset")
+	}
+}
+
+func TestWikiTalkStandInIsLowDegree(t *testing.T) {
+	g, err := WikiTalk.Generate(0.25, Config{Seed: 1, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MeanOutDeg > 5 {
+		t.Errorf("wiki-talk stand-in mean degree %.2f, want ~2", s.MeanOutDeg)
+	}
+	if s.P50OutDeg > 2 {
+		t.Errorf("wiki-talk p50 degree %d, want <= 2", s.P50OutDeg)
+	}
+}
+
+func TestTwitter7StandInIsHighDegree(t *testing.T) {
+	g, err := Twitter7.Generate(0.25, Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MeanOutDeg < 10 {
+		t.Errorf("twitter7 stand-in mean degree %.2f, want high (~20-35)", s.MeanOutDeg)
+	}
+}
+
+func TestGeneratorsAlwaysValidProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := Config{Seed: seed}
+		gens := []func() (*graph.Graph, error){
+			func() (*graph.Graph, error) { return RMATGraph500(7, 4, cfg) },
+			func() (*graph.Graph, error) { return ErdosRenyi(100, 400, cfg) },
+			func() (*graph.Graph, error) { return PreferentialAttachment(150, 3, cfg) },
+			func() (*graph.Graph, error) { return WattsStrogatz(80, 4, 0.2, cfg) },
+			func() (*graph.Graph, error) { return SkewedStar(200, 3, 40, 1, cfg) },
+			func() (*graph.Graph, error) { return Community(120, 4, 5, 0.9, cfg) },
+		}
+		for _, fn := range gens {
+			g, err := fn()
+			if err != nil || g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommunityRejectsBadParams(t *testing.T) {
+	if _, err := Community(10, 0, 3, 0.5, Config{}); err == nil {
+		t.Error("accepted zero communities")
+	}
+	if _, err := Community(10, 20, 3, 0.5, Config{}); err == nil {
+		t.Error("accepted more communities than vertices")
+	}
+	if _, err := Community(10, 2, 3, 1.5, Config{}); err == nil {
+		t.Error("accepted pIn > 1")
+	}
+}
+
+func TestWattsStrogatzRejectsBadParams(t *testing.T) {
+	if _, err := WattsStrogatz(0, 2, 0.1, Config{}); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, Config{}); err == nil {
+		t.Error("accepted beta > 1")
+	}
+}
+
+func TestSkewedStarRejectsBadParams(t *testing.T) {
+	if _, err := SkewedStar(10, 0, 5, 1, Config{}); err == nil {
+		t.Error("accepted zero hubs")
+	}
+	if _, err := SkewedStar(10, 20, 5, 1, Config{}); err == nil {
+		t.Error("accepted hubs > n")
+	}
+}
+
+func TestGridRejectsBadDims(t *testing.T) {
+	if _, err := Grid(0, 5, Config{}); err == nil {
+		t.Error("accepted zero rows")
+	}
+}
+
+func TestPreferentialAttachmentRejectsBadParams(t *testing.T) {
+	if _, err := PreferentialAttachment(0, 2, Config{}); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := PreferentialAttachment(10, 0, Config{}); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestDatasetsScaleRoughlyLinearly(t *testing.T) {
+	for _, ds := range Datasets() {
+		g1, err := ds.Generate(0.125, Config{Seed: 3, DropSelfLoops: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := ds.Generate(0.25, Config{Seed: 3, DropSelfLoops: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := float64(g2.NumEdges()) / float64(g1.NumEdges())
+		if r < 1.4 || r > 3.0 {
+			t.Errorf("%s: doubling scale changed edges %.2fx, want ~2x", ds.Name, r)
+		}
+	}
+}

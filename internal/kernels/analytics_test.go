@@ -1,0 +1,329 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// pathGraph builds the undirected path 0-1-2-...-n-1.
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddUndirected(graph.VertexID(i), graph.VertexID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBetweennessPathGraph(t *testing.T) {
+	// On an undirected path of 5, exact BC (unnormalized, counting each
+	// direction) is [0, 6, 8, 6, 0]: vertex 2 lies on 4 ordered pairs'
+	// paths... computed from Brandes' definition directly below.
+	g := pathGraph(t, 5)
+	bc := BetweennessCentrality(g, nil)
+	// Middle vertex dominates; endpoints are zero.
+	if bc[0] != 0 || bc[4] != 0 {
+		t.Errorf("endpoint BC = %v, want 0", []float64{bc[0], bc[4]})
+	}
+	if !(bc[2] > bc[1] && bc[1] > 0) {
+		t.Errorf("BC ordering wrong: %v", bc)
+	}
+	// Symmetry of the path.
+	if bc[1] != bc[3] {
+		t.Errorf("BC not symmetric: %v", bc)
+	}
+	// Exact values: for ordered pairs on a path, v is interior on
+	// |left|*|right|*2 paths: bc[1] = 1*3*2 = 6, bc[2] = 2*2*2 = 8.
+	if bc[1] != 6 || bc[2] != 8 {
+		t.Errorf("BC = %v, want [0 6 8 6 0]", bc)
+	}
+}
+
+func TestBetweennessStarGraph(t *testing.T) {
+	// Undirected star: all shortest paths between leaves pass the hub.
+	n := 6
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddUndirected(0, graph.VertexID(i), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc := BetweennessCentrality(g, nil)
+	// Hub: (n-1)(n-2) ordered leaf pairs.
+	want := float64((n - 1) * (n - 2))
+	if bc[0] != want {
+		t.Errorf("hub BC = %g, want %g", bc[0], want)
+	}
+	for i := 1; i < n; i++ {
+		if bc[i] != 0 {
+			t.Errorf("leaf %d BC = %g, want 0", i, bc[i])
+		}
+	}
+}
+
+func TestBetweennessSampledSubset(t *testing.T) {
+	g, err := gen.Community(300, 3, 6, 0.9, gen.Config{Seed: 3, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := BetweennessCentrality(g, nil)
+	sample := BetweennessCentrality(g, []graph.VertexID{0, 50, 100, 150, 200, 250})
+	// Sampled scores are partial sums of the exact ones.
+	for v := range sample {
+		if sample[v] > full[v]+1e-9 {
+			t.Fatalf("sampled BC[%d] = %g exceeds exact %g", v, sample[v], full[v])
+		}
+	}
+}
+
+func TestBetweennessEmptyGraph(t *testing.T) {
+	g, err := graph.NewCSR([]int64{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc := BetweennessCentrality(g, nil); len(bc) != 0 {
+		t.Errorf("empty graph BC = %v", bc)
+	}
+}
+
+func TestKCoreClique(t *testing.T) {
+	// A 5-clique: every vertex has core number 4.
+	n := 5
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddUndirected(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, c := range core {
+		if c != 4 {
+			t.Errorf("core[%d] = %d, want 4", v, c)
+		}
+	}
+}
+
+func TestKCoreCliqueWithTail(t *testing.T) {
+	// 4-clique (vertices 0-3) plus a pendant path 3-4-5: the clique is
+	// 3-core, the path vertices are 1-core.
+	b := graph.NewBuilder(6)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddUndirected(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	b.AddUndirected(3, 4, 1)
+	b.AddUndirected(4, 5, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 3, 3, 3, 1, 1}
+	for v := range want {
+		if core[v] != want[v] {
+			t.Errorf("core[%d] = %d, want %d (all: %v)", v, core[v], want[v], core)
+		}
+	}
+}
+
+func TestKCoreAgainstNaivePeeling(t *testing.T) {
+	g, err := gen.ErdosRenyi(150, 700, gen.Config{Seed: 9, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := naiveKCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range slow {
+		if fast[v] != slow[v] {
+			t.Fatalf("core[%d] = %d, naive %d", v, fast[v], slow[v])
+		}
+	}
+}
+
+// naiveKCore peels by repeated scanning — O(V^2) but obviously correct.
+func naiveKCore(g *graph.Graph) ([]int32, error) {
+	und, err := g.Symmetrize()
+	if err != nil {
+		return nil, err
+	}
+	n := und.NumVertices()
+	deg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		deg[v] = int32(und.OutDegree(graph.VertexID(v)))
+	}
+	core := make([]int32, n)
+	removed := make([]bool, n)
+	for k := int32(0); ; k++ {
+		changed := true
+		for changed {
+			changed = false
+			for v := 0; v < n; v++ {
+				if removed[v] || deg[v] > k {
+					continue
+				}
+				removed[v] = true
+				core[v] = k
+				changed = true
+				for _, u := range und.Neighbors(graph.VertexID(v)) {
+					if !removed[u] {
+						deg[u]--
+					}
+				}
+			}
+		}
+		done := true
+		for v := 0; v < n; v++ {
+			if !removed[v] {
+				done = false
+				break
+			}
+		}
+		if done {
+			return core, nil
+		}
+	}
+}
+
+func TestTriangleCountKnownGraphs(t *testing.T) {
+	// Triangle: exactly 1.
+	b := graph.NewBuilder(3)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(1, 2, 1)
+	b.AddUndirected(2, 0, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 1 {
+		t.Errorf("triangle count = %d, want 1", c)
+	}
+
+	// K5: C(5,3) = 10 triangles.
+	b = graph.NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddUndirected(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	g, err = b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 10 {
+		t.Errorf("K5 triangles = %d, want 10", c)
+	}
+
+	// Path: zero triangles.
+	g = pathGraph(t, 10)
+	c, err = TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != 0 {
+		t.Errorf("path triangles = %d, want 0", c)
+	}
+}
+
+func TestTriangleCountAgainstNaive(t *testing.T) {
+	g, err := gen.ErdosRenyi(80, 500, gen.Config{Seed: 13, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und, err := g.Symmetrize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var naive int64
+	n := und.NumVertices()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if !und.HasEdge(graph.VertexID(u), graph.VertexID(v)) {
+				continue
+			}
+			for w := v + 1; w < n; w++ {
+				if und.HasEdge(graph.VertexID(u), graph.VertexID(w)) && und.HasEdge(graph.VertexID(v), graph.VertexID(w)) {
+					naive++
+				}
+			}
+		}
+	}
+	if fast != naive {
+		t.Errorf("triangles = %d, naive %d", fast, naive)
+	}
+}
+
+func TestAnalyticsOnDataset(t *testing.T) {
+	g, err := gen.ComLiveJournal.Generate(0.06, gen.Config{Seed: 7, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := KCore(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxCore := int32(0)
+	for _, c := range core {
+		if c > maxCore {
+			maxCore = c
+		}
+	}
+	if maxCore < 2 {
+		t.Errorf("community graph max core = %d, want dense cores", maxCore)
+	}
+	tri, err := TriangleCount(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tri == 0 {
+		t.Error("community graph has no triangles?")
+	}
+	bc := BetweennessCentrality(g, []graph.VertexID{0, 1, 2, 3})
+	var sum float64
+	for _, x := range bc {
+		if math.IsNaN(x) || x < 0 {
+			t.Fatal("invalid BC value")
+		}
+		sum += x
+	}
+	if sum == 0 {
+		t.Error("sampled BC all zero on connected community graph")
+	}
+}

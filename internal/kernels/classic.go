@@ -1,0 +1,208 @@
+package kernels
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file holds textbook implementations of the evaluated algorithms,
+// written independently of the vertex-program machinery. Tests validate
+// every engine against these, so a bug would have to appear identically in
+// two very different formulations to go unnoticed.
+
+// PageRankClassic runs damped power iteration. Like the kernel
+// formulation (and most frontier frameworks), dangling-vertex mass is not
+// redistributed, so the two agree exactly in exact arithmetic.
+func PageRankClassic(g *graph.Graph, iterations int, damping float64) []float64 {
+	n := g.NumVertices()
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iterations; it++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			deg := g.OutDegree(graph.VertexID(v))
+			if deg == 0 {
+				continue
+			}
+			share := rank[v] / float64(deg)
+			for _, d := range g.Neighbors(graph.VertexID(v)) {
+				next[d] += share
+			}
+		}
+		for i := range next {
+			next[i] = base + damping*next[i]
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// WCCUnionFind labels weakly-connected components with the minimum vertex
+// id in each component, via union-find with path compression.
+func WCCUnionFind(g *graph.Graph) []float64 {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	g.ForEachEdge(func(s, d graph.VertexID, w float32) bool {
+		rs, rd := find(int32(s)), find(int32(d))
+		if rs != rd {
+			if rs < rd {
+				parent[rd] = rs
+			} else {
+				parent[rs] = rd
+			}
+		}
+		return true
+	})
+	// Min-id labeling: because unions always point to the smaller root,
+	// find(v) is the minimum id of v's component.
+	labels := make([]float64, n)
+	for v := 0; v < n; v++ {
+		labels[v] = float64(find(int32(v)))
+	}
+	return labels
+}
+
+// BFSClassic computes hop levels from src with a FIFO queue; unreachable
+// vertices get +Inf.
+func BFSClassic(g *graph.Graph, src graph.VertexID) []float64 {
+	n := g.NumVertices()
+	levels := make([]float64, n)
+	for i := range levels {
+		levels[i] = math.Inf(1)
+	}
+	levels[src] = 0
+	queue := []graph.VertexID{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, d := range g.Neighbors(v) {
+			if math.IsInf(levels[d], 1) {
+				levels[d] = levels[v] + 1
+				queue = append(queue, d)
+			}
+		}
+	}
+	return levels
+}
+
+// pqItem is a priority-queue entry for the Dijkstra variants.
+type pqItem struct {
+	v    graph.VertexID
+	prio float64
+}
+
+// pq is a binary heap over pqItem; less decides min- vs max-heap.
+type pq struct {
+	items []pqItem
+	less  func(a, b float64) bool
+}
+
+func (q *pq) Len() int           { return len(q.items) }
+func (q *pq) Less(i, j int) bool { return q.less(q.items[i].prio, q.items[j].prio) }
+func (q *pq) Swap(i, j int)      { q.items[i], q.items[j] = q.items[j], q.items[i] }
+func (q *pq) Push(x interface{}) { q.items = append(q.items, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := q.items
+	n := len(old)
+	it := old[n-1]
+	q.items = old[:n-1]
+	return it
+}
+
+// DijkstraSSSP computes shortest-path distances from src over non-negative
+// edge weights; unreachable vertices get +Inf.
+func DijkstraSSSP(g *graph.Graph, src graph.VertexID) []float64 {
+	n := g.NumVertices()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{less: func(a, b float64) bool { return a < b }}
+	heap.Push(q, pqItem{src, 0})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.prio > dist[it.v] {
+			continue // stale entry
+		}
+		lo, hi := g.EdgeRange(it.v)
+		nbrs := g.Edges()[lo:hi]
+		for i, d := range nbrs {
+			w := float64(g.EdgeWeight(lo + int64(i)))
+			if nd := dist[it.v] + w; nd < dist[d] {
+				dist[d] = nd
+				heap.Push(q, pqItem{d, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// WidestPathClassic computes maximum-bottleneck path widths from src
+// (Dijkstra variant with a max-heap); the source has width +Inf and
+// unreachable vertices 0.
+func WidestPathClassic(g *graph.Graph, src graph.VertexID) []float64 {
+	n := g.NumVertices()
+	width := make([]float64, n)
+	width[src] = math.Inf(1)
+	q := &pq{less: func(a, b float64) bool { return a > b }}
+	heap.Push(q, pqItem{src, math.Inf(1)})
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.prio < width[it.v] {
+			continue // stale entry
+		}
+		lo, hi := g.EdgeRange(it.v)
+		nbrs := g.Edges()[lo:hi]
+		for i, d := range nbrs {
+			w := math.Min(width[it.v], float64(g.EdgeWeight(lo+int64(i))))
+			if w > width[d] {
+				width[d] = w
+				heap.Push(q, pqItem{d, w})
+			}
+		}
+	}
+	return width
+}
+
+// ReachabilityClassic marks vertices reachable from src (including src)
+// with 1.
+func ReachabilityClassic(g *graph.Graph, src graph.VertexID) []float64 {
+	levels := BFSClassic(g, src)
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		if !math.IsInf(l, 1) {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// InDegreesClassic returns in-degrees as float64 values.
+func InDegreesClassic(g *graph.Graph) []float64 {
+	in := g.InDegrees()
+	out := make([]float64, len(in))
+	for i, d := range in {
+		out[i] = float64(d)
+	}
+	return out
+}

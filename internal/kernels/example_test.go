@@ -1,0 +1,50 @@
+package kernels_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// ExampleRunSerial computes BFS levels on a small chain with the serial
+// reference engine.
+func ExampleRunSerial() {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := kernels.RunSerial(g, kernels.NewBFS(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Values)
+	// Output:
+	// [0 1 2 3]
+}
+
+// ExampleTriangleCount counts the triangles of K4.
+func ExampleTriangleCount() {
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddUndirected(graph.VertexID(i), graph.VertexID(j), 1)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := kernels.TriangleCount(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(n)
+	// Output:
+	// 4
+}

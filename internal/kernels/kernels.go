@@ -1,0 +1,215 @@
+// Package kernels defines the vertex-program abstraction shared by every
+// execution engine in this framework, plus the analytics kernels the paper
+// evaluates (PageRank, Connected Components, BFS, SSSP) and several
+// extensions (SSWP, in-degree centrality, reachability).
+//
+// The abstraction mirrors the three functions in the paper's Figure 1:
+//
+//   - Traverse: walk the out-edges of frontier vertices, producing one
+//     contribution per edge (Scatter here);
+//   - Apply: reduce contributions targeting the same destination
+//     (Aggregate here) — this is the operation in-network elements can
+//     execute, so it must be commutative and associative;
+//   - Update: fold the aggregate into the destination's property and
+//     decide whether the destination joins the next frontier (Apply here).
+//
+// Vertex properties are float64 values: PageRank ranks, CC labels, BFS
+// levels, and SSSP distances all embed exactly (labels are integers below
+// 2^53). A fixed property type keeps every engine monomorphic and makes
+// the paper's byte accounting (16 B per update) uniform.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// AggOp names the reduction used by a kernel's Aggregate. In-network
+// compute elements (Table I: SwitchML, SHARP) support exactly these simple
+// reductions, so engines consult it for offload eligibility.
+type AggOp int
+
+// Supported reduction operators.
+const (
+	AggSum AggOp = iota
+	AggMin
+	AggMax
+)
+
+// String returns the operator name.
+func (op AggOp) String() string {
+	switch op {
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggOp(%d)", int(op))
+	}
+}
+
+// Traits describes a kernel's static execution profile. Engines use it to
+// drive iteration (fixed-point vs frontier), and the NDP layer uses the
+// operation flags to decide which device classes can run the kernel
+// (Table I: UPMEM has primitive FP and weak integer multiply/divide).
+type Traits struct {
+	// NeedsWeights requires a weighted graph.
+	NeedsWeights bool
+	// UsesFloatingPoint marks kernels whose Scatter/Apply do FP arithmetic
+	// (PageRank) rather than integer/comparison work (BFS, CC).
+	UsesFloatingPoint bool
+	// UsesIntMulDiv marks kernels needing integer multiply/divide, which
+	// some PIM devices support only slowly.
+	UsesIntMulDiv bool
+	// AllVerticesActive marks fixed-point kernels (PageRank) whose
+	// frontier is the full vertex set every iteration, terminating on
+	// MaxIterations or the Epsilon residual.
+	AllVerticesActive bool
+	// Epsilon is the L1-residual convergence threshold for fixed-point
+	// kernels; 0 disables the residual check.
+	Epsilon float64
+	// MaxIterations bounds the iteration count (safety net for frontier
+	// kernels, the budget for fixed-point kernels).
+	MaxIterations int
+	// Agg is the reduction operator.
+	Agg AggOp
+	// FLOPsPerEdge and FLOPsPerApply estimate arithmetic intensity for the
+	// compute-requirement analysis behind Figure 4.
+	FLOPsPerEdge  float64
+	FLOPsPerApply float64
+}
+
+// Bytes per unit in the paper's accounting model (Section IV-A: 8 bytes
+// per edge, 16 bytes per intermediate update for PageRank; a vertex
+// property record is an id plus a value).
+const (
+	EdgeBytes     = 8
+	UpdateBytes   = 16
+	PropertyBytes = 16
+)
+
+// EdgeContext carries everything Scatter may read about an edge. Engines
+// construct it during the traversal phase.
+type EdgeContext struct {
+	Src, Dst     graph.VertexID
+	SrcValue     float64
+	Weight       float32
+	SrcOutDegree int64
+}
+
+// Kernel is a vertex program. Implementations must be stateless: all
+// mutable state lives in the engine so that one Kernel value can be shared
+// by concurrent engines.
+type Kernel interface {
+	// Name identifies the kernel in reports ("pagerank", "bfs", ...).
+	Name() string
+	// Traits returns the kernel's static profile.
+	Traits() Traits
+	// InitialValue returns vertex v's property before iteration 0.
+	InitialValue(g *graph.Graph, v graph.VertexID) float64
+	// InitialFrontier returns the vertices active in iteration 0. A nil
+	// return means "all vertices".
+	InitialFrontier(g *graph.Graph) []graph.VertexID
+	// Identity is the neutral element of Aggregate.
+	Identity() float64
+	// Scatter produces the contribution an edge sends to its destination.
+	// ok=false suppresses the update (e.g. unreachable source).
+	Scatter(ec EdgeContext) (update float64, ok bool)
+	// Aggregate reduces two contributions. Must be commutative and
+	// associative; in-network aggregation relies on it.
+	Aggregate(a, b float64) float64
+	// Apply folds the aggregated contribution into the old property and
+	// reports whether the vertex activates for the next iteration.
+	// hasUpdate is false when no edge targeted the vertex this iteration
+	// (only fixed-point kernels see Apply in that case).
+	Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool)
+}
+
+// SourcedKernel is implemented by kernels rooted at a source vertex (BFS,
+// SSSP, SSWP, reachability).
+type SourcedKernel interface {
+	Kernel
+	Source() graph.VertexID
+}
+
+// StatefulKernel is implemented by kernels that keep per-vertex side state
+// which the traversal consumes (delta-PageRank residuals). Engines call
+// OnScattered(v) for every frontier vertex after the traversal phase
+// completes and before any Apply of the same iteration, marking v's
+// pending state as propagated.
+type StatefulKernel interface {
+	Kernel
+	OnScattered(v graph.VertexID)
+}
+
+// aggregate applies op to (a, b); shared by kernels and the in-network
+// aggregation model.
+func aggregate(op AggOp, a, b float64) float64 {
+	switch op {
+	case AggSum:
+		return a + b
+	case AggMin:
+		return math.Min(a, b)
+	case AggMax:
+		return math.Max(a, b)
+	default:
+		panic(fmt.Sprintf("kernels: unknown AggOp %d", op))
+	}
+}
+
+// AggregateValues reduces a slice with op, starting from identity.
+func AggregateValues(op AggOp, identity float64, values []float64) float64 {
+	acc := identity
+	for _, v := range values {
+		acc = aggregate(op, acc, v)
+	}
+	return acc
+}
+
+// ByName constructs a kernel by name with default parameters: pagerank,
+// cc, bfs (source 0), sssp (source 0), sswp (source 0), indegree,
+// reachability (source 0).
+func ByName(name string) (Kernel, error) {
+	switch name {
+	case "pagerank", "pr":
+		return NewPageRank(DefaultPageRankIterations, DefaultDamping), nil
+	case "pagerank-delta", "prdelta":
+		return NewPageRankDelta(DefaultDamping, 1e-9), nil
+	case "ppr":
+		return NewPersonalizedPageRank(0, DefaultPageRankIterations, DefaultDamping), nil
+	case "cc", "connectedcomponents":
+		return NewConnectedComponents(), nil
+	case "bfs":
+		return NewBFS(0), nil
+	case "sssp":
+		return NewSSSP(0), nil
+	case "sswp":
+		return NewSSWP(0), nil
+	case "indegree", "degree":
+		return NewInDegree(), nil
+	case "reach", "reachability":
+		return NewReachability(0), nil
+	default:
+		return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+	}
+}
+
+// All returns one instance of every kernel, for table-driven tests and the
+// Figure 4 sweep.
+func All() []Kernel {
+	return []Kernel{
+		NewPageRank(DefaultPageRankIterations, DefaultDamping),
+		NewPageRankDelta(DefaultDamping, 1e-9),
+		NewPersonalizedPageRank(0, DefaultPageRankIterations, DefaultDamping),
+		NewConnectedComponents(),
+		NewBFS(0),
+		NewSSSP(0),
+		NewSSWP(0),
+		NewInDegree(),
+		NewReachability(0),
+	}
+}

@@ -1,0 +1,165 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestPageRankDeltaConvergesToClassic(t *testing.T) {
+	g := socialGraph(t)
+	k := NewPageRankDelta(0.85, 1e-10)
+	res, err := RunSerial(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("delta pagerank did not converge within the iteration budget")
+	}
+	// Classic power iteration run far past convergence is the fixed point.
+	want := PageRankClassic(g, 100, 0.85)
+	// Residual bound: outstanding mass <= threshold*n per vertex chain,
+	// amplified by at most 1/(1-d).
+	tol := 1e-10 * float64(g.NumVertices()) / (1 - 0.85) * 10
+	if tol < 1e-9 {
+		tol = 1e-9
+	}
+	for v := range want {
+		if d := math.Abs(res.Values[v] - want[v]); d > tol {
+			t.Fatalf("delta rank[%d] = %g, classic %g (diff %g > tol %g)", v, res.Values[v], want[v], d, tol)
+		}
+	}
+}
+
+func TestPageRankDeltaFrontierShrinks(t *testing.T) {
+	g := socialGraph(t)
+	res, err := RunSerial(g, NewPageRankDelta(0.85, 1e-8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := res.FrontierSizes[0]
+	last := res.FrontierSizes[len(res.FrontierSizes)-1]
+	if first != int64(g.NumVertices()) {
+		t.Errorf("first frontier %d, want all %d", first, g.NumVertices())
+	}
+	if last >= first {
+		t.Errorf("frontier did not shrink: first %d, last %d", first, last)
+	}
+}
+
+func TestPageRankDeltaResidualDrains(t *testing.T) {
+	g := socialGraph(t)
+	k := NewPageRankDelta(0.85, 1e-10)
+	if _, err := RunSerial(g, k); err != nil {
+		t.Fatal(err)
+	}
+	// After convergence every vertex's pending mass is below threshold.
+	if norm := k.ResidualNorm(); norm > 1e-10*float64(g.NumVertices()) {
+		t.Errorf("residual norm %g not drained", norm)
+	}
+}
+
+func TestPageRankDeltaReusableAcrossRuns(t *testing.T) {
+	g := socialGraph(t)
+	k := NewPageRankDelta(0.85, 1e-10)
+	r1, err := RunSerial(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSerial(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Values {
+		if r1.Values[v] != r2.Values[v] {
+			t.Fatalf("rerun diverged at vertex %d: %g vs %g", v, r1.Values[v], r2.Values[v])
+		}
+	}
+}
+
+func TestPageRankDeltaSubThresholdMassNotLost(t *testing.T) {
+	// A chain forces mass to trickle: 0 -> 1 -> 2. With a coarse
+	// threshold, vertex 2 receives tiny increments repeatedly; the
+	// accumulate-then-activate semantics must not drop them.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := NewPageRankDelta(0.85, 1e-12)
+	res, err := RunSerial(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PageRankClassic(g, 200, 0.85)
+	for v := range want {
+		if d := math.Abs(res.Values[v] - want[v]); d > 1e-9 {
+			t.Errorf("rank[%d] = %g, classic %g", v, res.Values[v], want[v])
+		}
+	}
+}
+
+func TestPPRMassConcentratesNearSource(t *testing.T) {
+	// Two communities weakly linked; PPR from community A must rank A's
+	// members above B's.
+	g, err := gen.Community(400, 2, 8, 0.98, gen.Config{Seed: 13, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSerial(g, NewPersonalizedPageRank(10, 30, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var massA, massB float64
+	for v, r := range res.Values {
+		if v < 200 {
+			massA += r
+		} else {
+			massB += r
+		}
+	}
+	if massA <= 5*massB {
+		t.Errorf("PPR mass not concentrated: A=%g B=%g", massA, massB)
+	}
+}
+
+func TestPPRSourceHasTeleportFloor(t *testing.T) {
+	g := socialGraph(t)
+	res, err := RunSerial(g, NewPersonalizedPageRank(3, 20, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Values[3] < (1-0.85)-1e-9 {
+		t.Errorf("source rank %g below teleport floor %g", res.Values[3], 1-0.85)
+	}
+}
+
+func TestDeltaAndClassicPageRankAgreeOnOrdering(t *testing.T) {
+	g := socialGraph(t)
+	classic, err := RunSerial(g, NewPageRank(50, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := RunSerial(g, NewPageRankDelta(0.85, 1e-12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The top vertex must agree.
+	argmax := func(xs []float64) int {
+		best := 0
+		for i, x := range xs {
+			if x > xs[best] {
+				best = i
+			}
+		}
+		_ = xs
+		return best
+	}
+	if a, b := argmax(classic.Values), argmax(delta.Values); a != b {
+		t.Errorf("top-ranked vertex differs: classic %d, delta %d", a, b)
+	}
+}

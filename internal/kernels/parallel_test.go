@@ -1,0 +1,118 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestParallelMatchesSerialAllKernels(t *testing.T) {
+	g := socialGraph(t)
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name(), func(t *testing.T) {
+			ref, err := RunSerial(g, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 7} {
+				got, err := RunParallel(g, k, workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				tol := 0.0
+				if k.Traits().Agg == AggSum && k.Traits().UsesFloatingPoint {
+					tol = 1e-11 // association order differs across shards
+				}
+				for v := range ref.Values {
+					a, b := got.Values[v], ref.Values[v]
+					if math.IsInf(a, 1) && math.IsInf(b, 1) {
+						continue
+					}
+					if d := math.Abs(a - b); d > tol {
+						t.Fatalf("workers=%d: value[%d] = %g, serial %g", workers, v, a, b)
+					}
+				}
+				if got.Iterations != ref.Iterations {
+					t.Errorf("workers=%d: iterations %d, serial %d", workers, got.Iterations, ref.Iterations)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelDeterministicPerWorkerCount(t *testing.T) {
+	g := socialGraph(t)
+	k := NewPageRank(10, 0.85)
+	r1, err := RunParallel(g, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunParallel(g, k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range r1.Values {
+		if r1.Values[v] != r2.Values[v] {
+			t.Fatalf("same worker count diverged at %d", v)
+		}
+	}
+}
+
+func TestParallelFrontierAccountingMatchesSerial(t *testing.T) {
+	g := socialGraph(t)
+	ref, err := RunSerial(g, NewBFS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunParallel(g, NewBFS(0), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.FrontierSizes) != len(ref.FrontierSizes) {
+		t.Fatalf("iteration counts differ: %d vs %d", len(got.FrontierSizes), len(ref.FrontierSizes))
+	}
+	for i := range ref.FrontierSizes {
+		if got.FrontierSizes[i] != ref.FrontierSizes[i] {
+			t.Errorf("iter %d: frontier %d, serial %d", i, got.FrontierSizes[i], ref.FrontierSizes[i])
+		}
+		if got.ActiveEdges[i] != ref.ActiveEdges[i] {
+			t.Errorf("iter %d: edges %d, serial %d", i, got.ActiveEdges[i], ref.ActiveEdges[i])
+		}
+	}
+}
+
+func TestParallelMoreWorkersThanVertices(t *testing.T) {
+	g, err := gen.ErdosRenyi(5, 12, gen.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(g, NewConnectedComponents(), 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRequiresWeightsToo(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 150, gen.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunParallel(g, NewSSSP(0), 4); err == nil {
+		t.Error("parallel accepted unweighted graph for sssp")
+	}
+}
+
+func BenchmarkParallelPageRank(b *testing.B) {
+	g, err := gen.RMATGraph500(14, 16, gen.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k := NewPageRank(10, 0.85)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunParallel(g, k, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

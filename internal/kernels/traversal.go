@@ -1,0 +1,349 @@
+package kernels
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// ConnectedComponents computes weakly-connected component labels by
+// min-label propagation: every vertex starts with its own id as label and
+// repeatedly adopts the minimum label among its in-neighbors. On digraphs
+// the engine is expected to run the kernel over the symmetrized edge view
+// or accept directed label flow; the paper's CC (Figure 7a) follows the
+// same frontier-shrinking pattern either way.
+type ConnectedComponents struct{}
+
+// NewConnectedComponents returns the CC kernel.
+func NewConnectedComponents() *ConnectedComponents { return &ConnectedComponents{} }
+
+// Name implements Kernel.
+func (*ConnectedComponents) Name() string { return "cc" }
+
+// Traits implements Kernel.
+func (*ConnectedComponents) Traits() Traits {
+	return Traits{
+		MaxIterations: 10_000,
+		Agg:           AggMin,
+		FLOPsPerEdge:  0.5, // comparison only
+		FLOPsPerApply: 0.5,
+	}
+}
+
+// InitialValue implements Kernel: own id.
+func (*ConnectedComponents) InitialValue(g *graph.Graph, v graph.VertexID) float64 {
+	return float64(v)
+}
+
+// InitialFrontier implements Kernel: all vertices propagate initially.
+func (*ConnectedComponents) InitialFrontier(g *graph.Graph) []graph.VertexID { return nil }
+
+// Identity implements Kernel.
+func (*ConnectedComponents) Identity() float64 { return math.Inf(1) }
+
+// Scatter implements Kernel.
+func (*ConnectedComponents) Scatter(ec EdgeContext) (float64, bool) {
+	return ec.SrcValue, true
+}
+
+// Aggregate implements Kernel.
+func (*ConnectedComponents) Aggregate(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Kernel: adopt a strictly smaller label and reactivate.
+func (*ConnectedComponents) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate && agg < old {
+		return agg, true
+	}
+	return old, false
+}
+
+// BFS computes hop counts from a source vertex. Unreached vertices keep
+// +Inf.
+type BFS struct {
+	source graph.VertexID
+}
+
+// NewBFS returns a BFS kernel rooted at source.
+func NewBFS(source graph.VertexID) *BFS { return &BFS{source: source} }
+
+// Name implements Kernel.
+func (*BFS) Name() string { return "bfs" }
+
+// Source implements SourcedKernel.
+func (b *BFS) Source() graph.VertexID { return b.source }
+
+// Traits implements Kernel.
+func (*BFS) Traits() Traits {
+	return Traits{
+		MaxIterations: 10_000,
+		Agg:           AggMin,
+		FLOPsPerEdge:  0.5,
+		FLOPsPerApply: 0.5,
+	}
+}
+
+// InitialValue implements Kernel.
+func (b *BFS) InitialValue(g *graph.Graph, v graph.VertexID) float64 {
+	if v == b.source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// InitialFrontier implements Kernel.
+func (b *BFS) InitialFrontier(g *graph.Graph) []graph.VertexID {
+	return []graph.VertexID{b.source}
+}
+
+// Identity implements Kernel.
+func (*BFS) Identity() float64 { return math.Inf(1) }
+
+// Scatter implements Kernel: level+1 to each neighbor.
+func (*BFS) Scatter(ec EdgeContext) (float64, bool) {
+	if math.IsInf(ec.SrcValue, 1) {
+		return 0, false
+	}
+	return ec.SrcValue + 1, true
+}
+
+// Aggregate implements Kernel.
+func (*BFS) Aggregate(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Kernel.
+func (*BFS) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate && agg < old {
+		return agg, true
+	}
+	return old, false
+}
+
+// SSSP computes single-source shortest path distances over edge weights
+// (frontier-driven Bellman–Ford). Requires a weighted graph with
+// non-negative weights.
+type SSSP struct {
+	source graph.VertexID
+}
+
+// NewSSSP returns an SSSP kernel rooted at source.
+func NewSSSP(source graph.VertexID) *SSSP { return &SSSP{source: source} }
+
+// Name implements Kernel.
+func (*SSSP) Name() string { return "sssp" }
+
+// Source implements SourcedKernel.
+func (s *SSSP) Source() graph.VertexID { return s.source }
+
+// Traits implements Kernel.
+func (*SSSP) Traits() Traits {
+	return Traits{
+		NeedsWeights:      true,
+		UsesFloatingPoint: true,
+		MaxIterations:     10_000,
+		Agg:               AggMin,
+		FLOPsPerEdge:      1, // add + compare
+		FLOPsPerApply:     0.5,
+	}
+}
+
+// InitialValue implements Kernel.
+func (s *SSSP) InitialValue(g *graph.Graph, v graph.VertexID) float64 {
+	if v == s.source {
+		return 0
+	}
+	return math.Inf(1)
+}
+
+// InitialFrontier implements Kernel.
+func (s *SSSP) InitialFrontier(g *graph.Graph) []graph.VertexID {
+	return []graph.VertexID{s.source}
+}
+
+// Identity implements Kernel.
+func (*SSSP) Identity() float64 { return math.Inf(1) }
+
+// Scatter implements Kernel: dist + weight.
+func (*SSSP) Scatter(ec EdgeContext) (float64, bool) {
+	if math.IsInf(ec.SrcValue, 1) {
+		return 0, false
+	}
+	return ec.SrcValue + float64(ec.Weight), true
+}
+
+// Aggregate implements Kernel.
+func (*SSSP) Aggregate(a, b float64) float64 { return math.Min(a, b) }
+
+// Apply implements Kernel.
+func (*SSSP) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate && agg < old {
+		return agg, true
+	}
+	return old, false
+}
+
+// SSWP computes single-source widest paths: the maximum over paths of the
+// minimum edge weight along the path. An extension kernel exercising the
+// max-aggregation path through the engines and in-network elements.
+type SSWP struct {
+	source graph.VertexID
+}
+
+// NewSSWP returns an SSWP kernel rooted at source.
+func NewSSWP(source graph.VertexID) *SSWP { return &SSWP{source: source} }
+
+// Name implements Kernel.
+func (*SSWP) Name() string { return "sswp" }
+
+// Source implements SourcedKernel.
+func (s *SSWP) Source() graph.VertexID { return s.source }
+
+// Traits implements Kernel.
+func (*SSWP) Traits() Traits {
+	return Traits{
+		NeedsWeights:      true,
+		UsesFloatingPoint: true,
+		MaxIterations:     10_000,
+		Agg:               AggMax,
+		FLOPsPerEdge:      1,
+		FLOPsPerApply:     0.5,
+	}
+}
+
+// InitialValue implements Kernel.
+func (s *SSWP) InitialValue(g *graph.Graph, v graph.VertexID) float64 {
+	if v == s.source {
+		return math.Inf(1)
+	}
+	return 0
+}
+
+// InitialFrontier implements Kernel.
+func (s *SSWP) InitialFrontier(g *graph.Graph) []graph.VertexID {
+	return []graph.VertexID{s.source}
+}
+
+// Identity implements Kernel.
+func (*SSWP) Identity() float64 { return 0 }
+
+// Scatter implements Kernel: bottleneck of path-so-far and this edge.
+func (*SSWP) Scatter(ec EdgeContext) (float64, bool) {
+	if ec.SrcValue == 0 {
+		return 0, false
+	}
+	return math.Min(ec.SrcValue, float64(ec.Weight)), true
+}
+
+// Aggregate implements Kernel.
+func (*SSWP) Aggregate(a, b float64) float64 { return math.Max(a, b) }
+
+// Apply implements Kernel.
+func (*SSWP) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate && agg > old {
+		return agg, true
+	}
+	return old, false
+}
+
+// InDegree counts each vertex's in-degree in a single scatter round — the
+// simplest aggregation-only workload, and a useful smoke test for the
+// in-network aggregation path (pure sum, one iteration).
+type InDegree struct{}
+
+// NewInDegree returns the in-degree kernel.
+func NewInDegree() *InDegree { return &InDegree{} }
+
+// Name implements Kernel.
+func (*InDegree) Name() string { return "indegree" }
+
+// Traits implements Kernel.
+func (*InDegree) Traits() Traits {
+	return Traits{
+		MaxIterations: 1,
+		Agg:           AggSum,
+		FLOPsPerEdge:  0.5,
+		FLOPsPerApply: 0.5,
+	}
+}
+
+// InitialValue implements Kernel.
+func (*InDegree) InitialValue(g *graph.Graph, v graph.VertexID) float64 { return 0 }
+
+// InitialFrontier implements Kernel.
+func (*InDegree) InitialFrontier(g *graph.Graph) []graph.VertexID { return nil }
+
+// Identity implements Kernel.
+func (*InDegree) Identity() float64 { return 0 }
+
+// Scatter implements Kernel: each edge contributes one.
+func (*InDegree) Scatter(ec EdgeContext) (float64, bool) { return 1, true }
+
+// Aggregate implements Kernel.
+func (*InDegree) Aggregate(a, b float64) float64 { return a + b }
+
+// Apply implements Kernel: store the count; never reactivate.
+func (*InDegree) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate {
+		return agg, false
+	}
+	return old, false
+}
+
+// Reachability marks every vertex reachable from the source with 1.
+type Reachability struct {
+	source graph.VertexID
+}
+
+// NewReachability returns a reachability kernel rooted at source.
+func NewReachability(source graph.VertexID) *Reachability {
+	return &Reachability{source: source}
+}
+
+// Name implements Kernel.
+func (*Reachability) Name() string { return "reach" }
+
+// Source implements SourcedKernel.
+func (r *Reachability) Source() graph.VertexID { return r.source }
+
+// Traits implements Kernel.
+func (*Reachability) Traits() Traits {
+	return Traits{
+		MaxIterations: 10_000,
+		Agg:           AggMax,
+		FLOPsPerEdge:  0.5,
+		FLOPsPerApply: 0.5,
+	}
+}
+
+// InitialValue implements Kernel.
+func (r *Reachability) InitialValue(g *graph.Graph, v graph.VertexID) float64 {
+	if v == r.source {
+		return 1
+	}
+	return 0
+}
+
+// InitialFrontier implements Kernel.
+func (r *Reachability) InitialFrontier(g *graph.Graph) []graph.VertexID {
+	return []graph.VertexID{r.source}
+}
+
+// Identity implements Kernel.
+func (*Reachability) Identity() float64 { return 0 }
+
+// Scatter implements Kernel.
+func (*Reachability) Scatter(ec EdgeContext) (float64, bool) {
+	if ec.SrcValue == 0 {
+		return 0, false
+	}
+	return 1, true
+}
+
+// Aggregate implements Kernel.
+func (*Reachability) Aggregate(a, b float64) float64 { return math.Max(a, b) }
+
+// Apply implements Kernel.
+func (*Reachability) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate bool) (float64, bool) {
+	if hasUpdate && agg > old {
+		return agg, true
+	}
+	return old, false
+}

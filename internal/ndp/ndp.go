@@ -1,0 +1,249 @@
+// Package ndp models the near-data-processing hardware classes the paper
+// surveys in Table I — Processing Near-Memory (PNM), Processing In-Memory
+// (PIM), and In-Network Computing (INC) — as capability records that the
+// simulator and offload runtime consult.
+//
+// The paper uses these characteristics in two ways, and so does this
+// package: (1) high internal bandwidth makes the traversal phase scale
+// with memory capacity (memory-capacity-proportional bandwidth), captured
+// by the bandwidth fields feeding the simulator's time model; (2) the
+// compute capabilities gate which kernels a device can execute, captured
+// by Supports.
+package ndp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// Class is a hardware class from Table I.
+type Class int
+
+// Hardware classes.
+const (
+	// PNM devices sit next to the memory stack (CXL-CMS, CXL-PNM):
+	// high internal bandwidth, real vector/FP units.
+	PNM Class = iota
+	// PIM devices embed many simple cores in the memory arrays (UPMEM):
+	// very high aggregate bandwidth, primitive FP, weak integer mul/div.
+	PIM
+	// INC devices are programmable switch ASICs (SwitchML, SHARP):
+	// aggregation/filtering only, on data in flight.
+	INC
+)
+
+// String returns the class acronym.
+func (c Class) String() string {
+	switch c {
+	case PNM:
+		return "PNM"
+	case PIM:
+		return "PIM"
+	case INC:
+		return "INC"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Support grades a device's ability to execute an operation family.
+type Support int
+
+// Support levels.
+const (
+	// None: the operation cannot run on the device.
+	None Support = iota
+	// Primitive: supported but slow (e.g. software-emulated FP on UPMEM);
+	// the simulator applies a throughput penalty.
+	Primitive
+	// Full: native support.
+	Full
+)
+
+// String returns the support level name.
+func (s Support) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Primitive:
+		return "primitive"
+	case Full:
+		return "full"
+	default:
+		return fmt.Sprintf("Support(%d)", int(s))
+	}
+}
+
+// Device is one hardware design point.
+type Device struct {
+	Name  string
+	Class Class
+	// InternalBandwidthGBps is the bandwidth between the device's compute
+	// and its local memory (Table I: ~1100 GB/s for CXL-CMS, ~1700 GB/s
+	// aggregate for UPMEM). Zero for INC devices, which hold no memory.
+	InternalBandwidthGBps float64
+	// ComputeUnits counts processing elements (DPUs, vector lanes, ALUs).
+	ComputeUnits int
+	// FP and IntMulDiv grade arithmetic support.
+	FP        Support
+	IntMulDiv Support
+	// AggOps lists the reductions the device can apply in-transit. Only
+	// meaningful for INC devices.
+	AggOps []kernels.AggOp
+	// Capabilities and Target mirror Table I's prose columns.
+	Capabilities string
+	Target       string
+}
+
+// OffloadDecision reports whether and how well a device can run a kernel.
+type OffloadDecision struct {
+	OK bool
+	// Penalty multiplies the device's compute time (1 = native speed).
+	Penalty float64
+	// Reason explains a rejection or penalty.
+	Reason string
+}
+
+// Supports reports whether the device can execute the kernel's traversal
+// phase near data, and at what penalty. INC devices never run traversals —
+// they only aggregate (see CanAggregate).
+func (d *Device) Supports(k kernels.Kernel) OffloadDecision {
+	if d.Class == INC {
+		return OffloadDecision{OK: false, Reason: "INC devices aggregate in-flight data; they cannot run traversals"}
+	}
+	tr := k.Traits()
+	if tr.UsesFloatingPoint {
+		switch d.FP {
+		case None:
+			return OffloadDecision{OK: false, Reason: fmt.Sprintf("%s needs FP, %s has none", k.Name(), d.Name)}
+		case Primitive:
+			return OffloadDecision{OK: true, Penalty: 4, Reason: "software-emulated floating point"}
+		}
+	}
+	if tr.UsesIntMulDiv && d.IntMulDiv == None {
+		return OffloadDecision{OK: false, Reason: fmt.Sprintf("%s needs integer mul/div, %s has none", k.Name(), d.Name)}
+	}
+	if tr.UsesIntMulDiv && d.IntMulDiv == Primitive {
+		return OffloadDecision{OK: true, Penalty: 2, Reason: "slow integer multiply/divide"}
+	}
+	return OffloadDecision{OK: true, Penalty: 1}
+}
+
+// CanAggregate reports whether the device can apply op to in-flight
+// updates (the paper's in-network aggregation mechanism, Section IV-C).
+func (d *Device) CanAggregate(op kernels.AggOp) bool {
+	for _, o := range d.AggOps {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog returns the Table I device inventory.
+func Catalog() []Device {
+	return []Device{
+		{
+			Name:                  "CXL-CMS",
+			Class:                 PNM,
+			InternalBandwidthGBps: 1100,
+			ComputeUnits:          16,
+			FP:                    Full,
+			IntMulDiv:             Full,
+			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+			Capabilities:          "High internal memory bandwidth (~1.1 TB/s); matrix/vector computing units; FP operations",
+			Target:                "High memory bandwidth helps scale performance",
+		},
+		{
+			Name:                  "CXL-PNM",
+			Class:                 PNM,
+			InternalBandwidthGBps: 512,
+			ComputeUnits:          8,
+			FP:                    Full,
+			IntMulDiv:             Full,
+			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+			Capabilities:          "LPDDR-based CXL memory with matrix/vector units; support for FP operations",
+			Target:                "Simple vector computations that are memory-bandwidth bound",
+		},
+		{
+			Name:                  "UPMEM",
+			Class:                 PIM,
+			InternalBandwidthGBps: 1700,
+			ComputeUnits:          2560,
+			FP:                    Primitive,
+			IntMulDiv:             Primitive,
+			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+			Capabilities:          "High aggregate memory bandwidth (~1.7 TB/s); 1000s of in-order processing units (DPUs); primitive FP support",
+			Target:                "Memory-bandwidth-bound workloads; FP support increases range of supported workloads",
+		},
+		{
+			Name:         "SwitchML",
+			Class:        INC,
+			ComputeUnits: 64,
+			FP:           Primitive,
+			IntMulDiv:    None,
+			AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+			Capabilities: "Custom/configurable Tofino ASICs; integer ALUs with quantized FP",
+			Target:       "Simple filter/aggregation operations",
+		},
+		{
+			Name:         "SHARP",
+			Class:        INC,
+			ComputeUnits: 32,
+			FP:           Full,
+			IntMulDiv:    None,
+			AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+			Capabilities: "SwitchIB-2 ASIC; ALUs with FP support; hierarchical MPI_AllReduce",
+			Target:       "Aggregation of partial results from multiple sources",
+		},
+	}
+}
+
+// ByName finds a catalog device.
+func ByName(name string) (Device, error) {
+	for _, d := range Catalog() {
+		if strings.EqualFold(d.Name, name) {
+			return d, nil
+		}
+	}
+	return Device{}, fmt.Errorf("ndp: unknown device %q", name)
+}
+
+// DefaultMemoryDevice returns the device class used for memory-node NDP
+// units unless configured otherwise (a PNM part with full FP support, so
+// every kernel offloads at native speed).
+func DefaultMemoryDevice() Device {
+	d, err := ByName("CXL-CMS")
+	if err != nil {
+		panic(err) // catalog is static; unreachable
+	}
+	return d
+}
+
+// DefaultSwitchDevice returns the device class used for the in-network
+// aggregation element unless configured otherwise.
+func DefaultSwitchDevice() Device {
+	d, err := ByName("SHARP")
+	if err != nil {
+		panic(err) // catalog is static; unreachable
+	}
+	return d
+}
+
+// Table renders the catalog in the layout of the paper's Table I.
+func Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s | %-9s | %-12s | %-9s | %-9s | %s\n", "Class", "Device", "Int.BW GB/s", "FP", "IntMulDiv", "Target Functionality")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, d := range Catalog() {
+		bw := "-"
+		if d.InternalBandwidthGBps > 0 {
+			bw = fmt.Sprintf("%.0f", d.InternalBandwidthGBps)
+		}
+		fmt.Fprintf(&b, "%-6s | %-9s | %-12s | %-9s | %-9s | %s\n",
+			d.Class, d.Name, bw, d.FP, d.IntMulDiv, d.Target)
+	}
+	return b.String()
+}

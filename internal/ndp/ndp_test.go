@@ -1,0 +1,169 @@
+package ndp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+func TestCatalogCoversTableOne(t *testing.T) {
+	want := map[string]Class{
+		"CXL-CMS":  PNM,
+		"CXL-PNM":  PNM,
+		"UPMEM":    PIM,
+		"SwitchML": INC,
+		"SHARP":    INC,
+	}
+	got := Catalog()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d devices, want %d", len(got), len(want))
+	}
+	for _, d := range got {
+		cls, ok := want[d.Name]
+		if !ok {
+			t.Errorf("unexpected device %q", d.Name)
+			continue
+		}
+		if d.Class != cls {
+			t.Errorf("%s class = %v, want %v", d.Name, d.Class, cls)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("upmem") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "UPMEM" {
+		t.Errorf("got %q", d.Name)
+	}
+	if _, err := ByName("tpu"); err == nil {
+		t.Error("accepted unknown device")
+	}
+}
+
+func TestPNMSupportsAllKernels(t *testing.T) {
+	d, err := ByName("CXL-CMS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range kernels.All() {
+		dec := d.Supports(k)
+		if !dec.OK {
+			t.Errorf("CXL-CMS rejects %s: %s", k.Name(), dec.Reason)
+		}
+		if dec.Penalty != 1 {
+			t.Errorf("CXL-CMS penalty for %s = %v, want 1", k.Name(), dec.Penalty)
+		}
+	}
+}
+
+func TestPIMPenalizesFloatingPoint(t *testing.T) {
+	d, err := ByName("UPMEM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := kernels.ByName("pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := d.Supports(pr)
+	if !dec.OK {
+		t.Fatalf("UPMEM rejected pagerank: %s", dec.Reason)
+	}
+	if dec.Penalty <= 1 {
+		t.Errorf("UPMEM FP penalty = %v, want > 1 (primitive FP)", dec.Penalty)
+	}
+	bfs, err := kernels.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec = d.Supports(bfs)
+	if !dec.OK || dec.Penalty != 1 {
+		t.Errorf("UPMEM bfs decision = %+v, want native", dec)
+	}
+}
+
+func TestINCCannotRunTraversals(t *testing.T) {
+	for _, name := range []string{"SwitchML", "SHARP"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range kernels.All() {
+			if dec := d.Supports(k); dec.OK {
+				t.Errorf("%s claims to run %s traversal", name, k.Name())
+			}
+		}
+	}
+}
+
+func TestINCAggregation(t *testing.T) {
+	d, err := ByName("SHARP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax} {
+		if !d.CanAggregate(op) {
+			t.Errorf("SHARP cannot aggregate %v", op)
+		}
+	}
+}
+
+func TestNoFPDeviceRejectsFPKernel(t *testing.T) {
+	d := Device{Name: "toy", Class: PNM, FP: None}
+	pr, err := kernels.ByName("pagerank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := d.Supports(pr); dec.OK {
+		t.Error("FP-less device accepted pagerank")
+	}
+	bfs, err := kernels.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec := d.Supports(bfs); !dec.OK {
+		t.Errorf("FP-less device rejected bfs: %s", dec.Reason)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if d := DefaultMemoryDevice(); d.Class != PNM {
+		t.Errorf("default memory device class %v, want PNM", d.Class)
+	}
+	if d := DefaultSwitchDevice(); d.Class != INC {
+		t.Errorf("default switch device class %v, want INC", d.Class)
+	}
+}
+
+func TestTableRendersAllDevices(t *testing.T) {
+	tbl := Table()
+	for _, d := range Catalog() {
+		if !strings.Contains(tbl, d.Name) {
+			t.Errorf("table missing %s", d.Name)
+		}
+	}
+	for _, cls := range []string{"PNM", "PIM", "INC"} {
+		if !strings.Contains(tbl, cls) {
+			t.Errorf("table missing class %s", cls)
+		}
+	}
+}
+
+func TestClassAndSupportStrings(t *testing.T) {
+	if PNM.String() != "PNM" || PIM.String() != "PIM" || INC.String() != "INC" {
+		t.Error("class names wrong")
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class empty")
+	}
+	if None.String() != "none" || Primitive.String() != "primitive" || Full.String() != "full" {
+		t.Error("support names wrong")
+	}
+	if Support(9).String() == "" {
+		t.Error("unknown support empty")
+	}
+}

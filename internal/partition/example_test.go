@@ -1,0 +1,30 @@
+package partition_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+// Example partitions a community graph two ways and compares the metric
+// that drives NDP offload efficiency: how many mirror copies each
+// strategy creates.
+func Example() {
+	g, err := gen.Community(1000, 10, 8, 0.95, gen.Config{Seed: 8, DropSelfLoops: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []partition.Partitioner{partition.Hash{}, partition.Multilevel{Seed: 1}} {
+		a, err := p.Partition(g, 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := partition.Evaluate(g, a)
+		fmt.Printf("%s: cut %.0f%%\n", p.Name(), 100*q.CutFraction)
+	}
+	// Output:
+	// hash: cut 91%
+	// multilevel: cut 5%
+}

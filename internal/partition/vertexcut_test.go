@@ -1,0 +1,138 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestVertexCutValid(t *testing.T) {
+	g := testGraph(t)
+	for _, c := range []VertexCutter{RandomVertexCut{}, GreedyVertexCut{}} {
+		for _, k := range []int{2, 8, 32} {
+			a, err := c.Cut(g, k)
+			if err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name(), k, err)
+			}
+			if err := a.Validate(g); err != nil {
+				t.Fatalf("%s k=%d: %v", c.Name(), k, err)
+			}
+		}
+	}
+}
+
+func TestGreedyBeatsRandomReplication(t *testing.T) {
+	// PowerGraph's claim: greedy placement sharply reduces replication on
+	// natural (skewed) graphs.
+	g, err := gen.RMATGraph500(12, 16, gen.Config{Seed: 5, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	ra, err := RandomVertexCut{}.Cut(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, err := GreedyVertexCut{}.Cut(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, gq := EvaluateVertexCut(g, ra), EvaluateVertexCut(g, ga)
+	if gq.ReplicationFactor >= rq.ReplicationFactor {
+		t.Errorf("greedy replication %.2f not below random %.2f", gq.ReplicationFactor, rq.ReplicationFactor)
+	}
+	if gq.EdgeImbalance > 1.5 {
+		t.Errorf("greedy edge imbalance %.2f too high", gq.EdgeImbalance)
+	}
+}
+
+func TestVertexCutBeats1DOnHubGraph(t *testing.T) {
+	// A hub-dominated graph: 1D partitioning replicates the hubs'
+	// neighborhoods everywhere; vertex cuts split hub edge lists instead.
+	g, err := gen.SkewedStar(2000, 4, 1500, 1, gen.Config{Seed: 5, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 16
+	oneD, err := Hash{}.Partition(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc, err := GreedyVertexCut{}.Cut(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := Evaluate(g, oneD)
+	qv := EvaluateVertexCut(g, vc)
+	if qv.ReplicationFactor >= q1.ReplicationFactor {
+		t.Errorf("vertex cut replication %.2f not below 1D %.2f on hub graph",
+			qv.ReplicationFactor, q1.ReplicationFactor)
+	}
+}
+
+func TestVertexCutReplicationBounds(t *testing.T) {
+	g := testGraph(t)
+	a, err := GreedyVertexCut{}.Cut(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EvaluateVertexCut(g, a)
+	if q.ReplicationFactor < 1 {
+		t.Errorf("replication %.3f below 1: every vertex has at least a master", q.ReplicationFactor)
+	}
+	if q.ReplicationFactor > 8 {
+		t.Errorf("replication %.3f above K", q.ReplicationFactor)
+	}
+}
+
+func TestGreedyVertexCutRejectsWideK(t *testing.T) {
+	g := testGraph(t)
+	if _, err := (GreedyVertexCut{}).Cut(g, 128); err == nil {
+		t.Error("accepted k > 64")
+	}
+}
+
+func TestEdgeAssignmentValidate(t *testing.T) {
+	g := testGraph(t)
+	bad := &EdgeAssignment{Parts: make([]int32, 3), K: 2}
+	if err := bad.Validate(g); err == nil {
+		t.Error("accepted wrong-length edge assignment")
+	}
+	parts := make([]int32, g.NumEdges())
+	parts[0] = 99
+	if err := (&EdgeAssignment{Parts: parts, K: 2}).Validate(g); err == nil {
+		t.Error("accepted out-of-range edge part")
+	}
+}
+
+func TestVertexCutK1(t *testing.T) {
+	g := testGraph(t)
+	a, err := GreedyVertexCut{}.Cut(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EvaluateVertexCut(g, a)
+	if q.ReplicationFactor != 1 {
+		t.Errorf("k=1 replication = %.3f, want 1", q.ReplicationFactor)
+	}
+}
+
+func TestVertexCutIsolatedVertices(t *testing.T) {
+	// Vertices with no edges still count one master in replication.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RandomVertexCut{}.Cut(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := EvaluateVertexCut(g, a)
+	// 1 edge -> 2 replicas, plus 2 isolated masters = 4 total over 4 vertices.
+	if q.Replicas != 4 {
+		t.Errorf("replicas = %d, want 4", q.Replicas)
+	}
+}

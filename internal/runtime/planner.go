@@ -1,0 +1,106 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+// Planner answers the provisioning question Figure 6 poses: how many
+// memory nodes should hold this graph, and with which mechanisms, before
+// distribution overhead eats the NDP benefit? It sweeps candidate pool
+// widths on the simulator, scores each configuration, and returns the
+// ranked plans — the "runtime mechanisms to understand the partitioning
+// and the scale at which processing is performed" the paper calls for in
+// Section IV-C.
+type Planner struct {
+	// CandidateWidths are the pool sizes to evaluate (default
+	// {2,4,8,16,32,64}, clamped to the vertex count).
+	CandidateWidths []int
+	// ComputeNodes for every candidate topology (default 2).
+	ComputeNodes int
+	// Partitioner used for every candidate (default multilevel).
+	Partitioner partition.Partitioner
+	// Aggregation enables in-network aggregation in candidates.
+	Aggregation bool
+	// MinWidth constrains the plan to pools that can hold the graph:
+	// widths below it are skipped (e.g. from a per-node capacity bound).
+	MinWidth int
+}
+
+// Plan is one evaluated configuration.
+type Plan struct {
+	MemoryNodes int
+	// MovedBytes and Seconds are the simulated totals for the probe
+	// kernel; EnergyJoules the modeled energy.
+	MovedBytes   int64
+	Seconds      float64
+	EnergyJoules float64
+	// Offloaded reports whether the dynamic policy chose offload for the
+	// majority of iterations at this width.
+	Offloaded bool
+}
+
+// Recommend evaluates the candidates with the dynamic heuristic policy
+// and returns plans sorted by moved bytes (ties: fewer nodes first). The
+// first plan is the recommendation.
+func (p Planner) Recommend(g *graph.Graph, k kernels.Kernel) ([]Plan, error) {
+	widths := p.CandidateWidths
+	if len(widths) == 0 {
+		widths = []int{2, 4, 8, 16, 32, 64}
+	}
+	computes := p.ComputeNodes
+	if computes <= 0 {
+		computes = 2
+	}
+	part := p.Partitioner
+	if part == nil {
+		part = partition.Multilevel{}
+	}
+	var plans []Plan
+	for _, w := range widths {
+		if w < 1 || w > g.NumVertices() || w < p.MinWidth {
+			continue
+		}
+		assign, err := part.Partition(g, w)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: planning width %d: %w", w, err)
+		}
+		topo := sim.DefaultTopology(computes, w)
+		run, err := (&sim.DisaggregatedNDP{
+			Topo: topo, Assign: assign,
+			Policy:               Heuristic{Aggregation: p.Aggregation},
+			InNetworkAggregation: p.Aggregation,
+		}).Run(g, k)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: planning width %d: %w", w, err)
+		}
+		offloaded := 0
+		for _, rec := range run.Records {
+			if rec.Offloaded {
+				offloaded++
+			}
+		}
+		plans = append(plans, Plan{
+			MemoryNodes:  w,
+			MovedBytes:   run.TotalDataMovementBytes,
+			Seconds:      run.TotalSeconds,
+			EnergyJoules: run.TotalEnergyJoules,
+			Offloaded:    offloaded*2 > len(run.Records),
+		})
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("runtime: no feasible pool width among %v (MinWidth %d, %d vertices)", widths, p.MinWidth, g.NumVertices())
+	}
+	sort.Slice(plans, func(i, j int) bool {
+		if plans[i].MovedBytes != plans[j].MovedBytes {
+			return plans[i].MovedBytes < plans[j].MovedBytes
+		}
+		return plans[i].MemoryNodes < plans[j].MemoryNodes
+	})
+	return plans, nil
+}

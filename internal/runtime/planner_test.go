@@ -1,0 +1,93 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+)
+
+func TestPlannerRecommendsSmallPoolsOnCommunityGraph(t *testing.T) {
+	// Figure 6's lesson: partial-update volume grows with pool width, so
+	// with the byte objective the planner must not recommend the widest
+	// pool for PageRank on a community graph.
+	g, err := gen.ComLiveJournal.Generate(0.25, gen.Config{Seed: 2, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := Planner{Partitioner: partition.Hash{}}.Recommend(g, kernels.NewPageRank(5, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) < 3 {
+		t.Fatalf("only %d plans", len(plans))
+	}
+	best := plans[0]
+	worst := plans[len(plans)-1]
+	if best.MemoryNodes >= worst.MemoryNodes {
+		t.Errorf("best plan %d nodes not narrower than worst %d", best.MemoryNodes, worst.MemoryNodes)
+	}
+	if best.MovedBytes > worst.MovedBytes {
+		t.Error("plans not sorted by movement")
+	}
+}
+
+func TestPlannerRespectsMinWidth(t *testing.T) {
+	g, err := gen.ComLiveJournal.Generate(0.125, gen.Config{Seed: 2, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := Planner{MinWidth: 16, Partitioner: partition.Hash{}}.Recommend(g, kernels.NewPageRank(3, 0.85))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		if p.MemoryNodes < 16 {
+			t.Errorf("plan with %d nodes violates MinWidth 16", p.MemoryNodes)
+		}
+	}
+}
+
+func TestPlannerNoFeasibleWidth(t *testing.T) {
+	g, err := gen.ErdosRenyi(20, 60, gen.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Planner{MinWidth: 1000}).Recommend(g, kernels.NewBFS(0)); err == nil {
+		t.Error("accepted infeasible MinWidth")
+	}
+}
+
+func TestPlannerAggregationFlattensWidthPenalty(t *testing.T) {
+	// With in-network aggregation the delivery floor is the distinct
+	// destination count, so widening the pool costs much less movement.
+	g, err := gen.ComLiveJournal.Generate(0.25, gen.Config{Seed: 2, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernels.NewPageRank(5, 0.85)
+	plain, err := Planner{Partitioner: partition.Hash{}}.Recommend(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := Planner{Partitioner: partition.Hash{}, Aggregation: true}.Recommend(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(plans []Plan) float64 {
+		lo, hi := plans[0].MovedBytes, plans[0].MovedBytes
+		for _, p := range plans {
+			if p.MovedBytes < lo {
+				lo = p.MovedBytes
+			}
+			if p.MovedBytes > hi {
+				hi = p.MovedBytes
+			}
+		}
+		return float64(hi) / float64(lo)
+	}
+	if spread(agg) >= spread(plain) {
+		t.Errorf("aggregation should flatten the width penalty: spread %.2f vs %.2f", spread(agg), spread(plain))
+	}
+}

@@ -1,0 +1,538 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/kernels"
+	"repro/internal/partition"
+)
+
+// PreStats is what an offload policy may observe before an iteration runs:
+// frontier metadata and the previous iteration's full record. Everything
+// here is cheaply available to a real runtime (the frontier is known, and
+// degree sums are prefix-sum lookups), which is the paper's point in
+// Section IV-D — these are the heuristic inputs.
+type PreStats struct {
+	Iteration int
+	// FrontierSize and FrontierDegreeSum describe the pending traversal.
+	FrontierSize      int64
+	FrontierDegreeSum int64
+	// Partitions is the memory-pool width.
+	Partitions int
+	// NumVertices is the graph's vertex count.
+	NumVertices int
+	// StaticPartialUpdates is the distinct (destination, partition) count
+	// for a full-graph traversal — a load-time statistic that captures
+	// destination skew, which per-iteration heuristics scale down by the
+	// frontier's traversal volume.
+	StaticPartialUpdates int64
+	// Prev is the previous iteration's record (nil on iteration 0); its
+	// observed update/edge ratios feed adaptive heuristics.
+	Prev *Record
+}
+
+// OffloadPolicy decides, before each iteration, whether the traversal runs
+// on the memory-node NDP units (true) or the hosts fetch edge lists
+// (false).
+type OffloadPolicy interface {
+	Name() string
+	Decide(s PreStats) bool
+}
+
+// PostHocPolicy marks policies that choose after both costs are measured
+// (oracle baselines). Engines detect the marker and apply min-cost
+// accounting instead of the pre-iteration decision.
+type PostHocPolicy interface {
+	OffloadPolicy
+	PostHoc()
+}
+
+// PartPre is one memory node's pre-iteration view, handed to per-partition
+// policies: the traversal volume its share of the frontier implies, and
+// the static skew statistic for its edge partition.
+type PartPre struct {
+	// FrontierSize and FrontierDegreeSum cover only vertices owned by
+	// this partition.
+	FrontierSize      int64
+	FrontierDegreeSum int64
+	// StaticPartialUpdates is this partition's distinct-destination count
+	// for a full-graph traversal.
+	StaticPartialUpdates int64
+}
+
+// PartitionPolicy decides offload independently for every memory node —
+// the finer-grained control Section IV argues frameworks must expose
+// ("which graph operations to offload", and where). Engines that support
+// it call DecidePartitions instead of Decide; mask[p] selects offload for
+// partition p. The returned slice must have length len(parts).
+type PartitionPolicy interface {
+	OffloadPolicy
+	DecidePartitions(s PreStats, parts []PartPre) []bool
+}
+
+// PartitionPostHocPolicy marks per-partition oracle accounting: each
+// memory node independently picks its cheaper mechanism after the costs
+// are measured.
+type PartitionPostHocPolicy interface {
+	OffloadPolicy
+	PartitionPostHoc()
+}
+
+// AlwaysOffload offloads every iteration.
+type AlwaysOffload struct{}
+
+// Name implements OffloadPolicy.
+func (AlwaysOffload) Name() string { return "always" }
+
+// Decide implements OffloadPolicy.
+func (AlwaysOffload) Decide(PreStats) bool { return true }
+
+// NeverOffload never offloads (pure far-memory execution).
+type NeverOffload struct{}
+
+// Name implements OffloadPolicy.
+func (NeverOffload) Name() string { return "never" }
+
+// Decide implements OffloadPolicy.
+func (NeverOffload) Decide(PreStats) bool { return false }
+
+// execution is the shared scatter/aggregate/apply machine. It reproduces
+// kernels.RunSerial semantics exactly (same iteration order, same
+// floating-point operation order) while additionally tracking the
+// partitioned counters every architecture's accounting needs.
+type execution struct {
+	g      *graph.Graph
+	k      kernels.Kernel
+	assign *partition.Assignment
+
+	// account fills in the architecture-specific fields of each record.
+	account func(rec *Record)
+	// policy is consulted pre-iteration; nil means AlwaysOffload.
+	policy OffloadPolicy
+
+	// static per-vertex mirror counts (distributed broadcast volume).
+	mirrorCount []int32
+	// cached marks vertices whose edge lists the hosts hold locally
+	// (tiering); their traversals cost no interconnect bytes in
+	// fetch-mode accounting.
+	cached []bool
+	// staticPartials is the full-frontier distinct (dst, partition)
+	// count; staticPartialsPerPart its per-partition breakdown.
+	staticPartials        int64
+	staticPartialsPerPart []int64
+}
+
+// computeStaticPartials counts the distinct (destination, partition) pairs
+// a full-graph traversal produces — the load-time skew statistic exposed
+// to offload policies via PreStats.
+func (e *execution) computeStaticPartials() {
+	n := e.g.NumVertices()
+	parts := e.assign.Parts
+	buckets := make([][]graph.VertexID, e.assign.K)
+	for v := 0; v < n; v++ {
+		buckets[parts[v]] = append(buckets[parts[v]], graph.VertexID(v))
+	}
+	stamped := make([]int64, n)
+	for i := range stamped {
+		stamped[i] = -1
+	}
+	var total int64
+	e.staticPartialsPerPart = make([]int64, e.assign.K)
+	for p := 0; p < e.assign.K; p++ {
+		token := int64(p)
+		for _, v := range buckets[p] {
+			for _, dst := range e.g.Neighbors(v) {
+				if stamped[dst] != token {
+					stamped[dst] = token
+					total++
+					e.staticPartialsPerPart[p]++
+				}
+			}
+		}
+	}
+	e.staticPartials = total
+}
+
+// newExecution validates inputs and builds the machine.
+func newExecution(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, account func(*Record), policy OffloadPolicy) (*execution, error) {
+	if err := kernels.CheckGraph(g, k); err != nil {
+		return nil, err
+	}
+	if err := assign.Validate(g); err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = AlwaysOffload{}
+	}
+	return &execution{g: g, k: k, assign: assign, account: account, policy: policy}, nil
+}
+
+// computeMirrorCounts counts, for each vertex v, the partitions other than
+// owner(v) holding at least one edge into v — the static mirror set whose
+// refresh is the distributed broadcast volume.
+func (e *execution) computeMirrorCounts() {
+	n := e.g.NumVertices()
+	e.mirrorCount = make([]int32, n)
+	parts := e.assign.Parts
+	// Walk one partition at a time so a single stamp array suffices to
+	// dedupe (dst, part) pairs: within partition p's walk, stamping dst
+	// with token p marks "already counted for p".
+	buckets := make([][]graph.VertexID, e.assign.K)
+	for v := 0; v < n; v++ {
+		buckets[parts[v]] = append(buckets[parts[v]], graph.VertexID(v))
+	}
+	stamped := make([]int64, n)
+	for i := range stamped {
+		stamped[i] = -1
+	}
+	for p := 0; p < e.assign.K; p++ {
+		token := int64(p)
+		for _, v := range buckets[p] {
+			for _, dst := range e.g.Neighbors(v) {
+				if int(parts[dst]) == p {
+					continue
+				}
+				if stamped[dst] != token {
+					stamped[dst] = token
+					e.mirrorCount[dst]++
+				}
+			}
+		}
+	}
+}
+
+// run executes the kernel to completion, producing a Run with one Record
+// per iteration.
+func (e *execution) run(engineName string) (*Run, error) {
+	g, k := e.g, e.k
+	n := g.NumVertices()
+	tr := k.Traits()
+	parts := e.assign.Parts
+	P := e.assign.K
+
+	values := make([]float64, n)
+	for v := 0; v < n; v++ {
+		values[v] = k.InitialValue(g, graph.VertexID(v))
+	}
+	frontier := kernels.NewFrontier(n)
+	if init := k.InitialFrontier(g); init == nil {
+		frontier.ActivateAll()
+	} else {
+		for _, v := range init {
+			frontier.Activate(v)
+		}
+	}
+
+	run := &Run{Engine: engineName, Kernel: k.Name()}
+	res := &kernels.Result{Values: values}
+
+	agg := make([]float64, n)
+	has := make([]bool, n)
+	identity := k.Identity()
+
+	// Stamp arrays for distinct-count tracking. partStamp[v] holds the
+	// last (iteration, partition) key that touched v; iterStamp[v] the
+	// last iteration. The traversal walks the frontier one partition at a
+	// time — exactly as the memory nodes would — so (iteration,
+	// partition) keys are monotone and a single stamp per destination
+	// dedupes (dst, partition) pairs correctly.
+	partStamp := make([]int64, n)
+	iterStamp := make([]int64, n)
+	for i := range partStamp {
+		partStamp[i] = -1
+		iterStamp[i] = -1
+	}
+	bytesPerPart := make([]int64, P)
+	opsPerPart := make([]float64, P)
+	partialsPerPart := make([]int64, P)
+	degSumPerPart := make([]int64, P)
+	partFrontier := make([][]graph.VertexID, P)
+	partPolicy, hasPartPolicy := e.policy.(PartitionPolicy)
+
+	var prev *Record
+	for iter := 0; iter < tr.MaxIterations; iter++ {
+		if frontier.Count() == 0 {
+			res.Converged = true
+			break
+		}
+		rec := Record{Iteration: iter, FrontierSize: frontier.Count()}
+
+		// Bucket the frontier by owning partition and gather the
+		// pre-iteration stats the offload policy may inspect.
+		for p := 0; p < P; p++ {
+			partFrontier[p] = partFrontier[p][:0]
+		}
+		pre := PreStats{
+			Iteration:            iter,
+			FrontierSize:         rec.FrontierSize,
+			Partitions:           P,
+			NumVertices:          n,
+			StaticPartialUpdates: e.staticPartials,
+			Prev:                 prev,
+		}
+		for p := 0; p < P; p++ {
+			degSumPerPart[p] = 0
+		}
+		frontier.ForEach(func(v graph.VertexID) {
+			d := g.OutDegree(v)
+			pre.FrontierDegreeSum += d
+			p := parts[v]
+			degSumPerPart[p] += d
+			partFrontier[p] = append(partFrontier[p], v)
+		})
+		var partMask []bool
+		if hasPartPolicy {
+			pp := make([]PartPre, P)
+			for p := 0; p < P; p++ {
+				pp[p] = PartPre{
+					FrontierSize:      int64(len(partFrontier[p])),
+					FrontierDegreeSum: degSumPerPart[p],
+				}
+				if e.staticPartialsPerPart != nil {
+					pp[p].StaticPartialUpdates = e.staticPartialsPerPart[p]
+				}
+			}
+			partMask = partPolicy.DecidePartitions(pre, pp)
+			rec.Offloaded = anyTrue(partMask)
+		} else {
+			rec.Offloaded = e.policy.Decide(pre)
+		}
+
+		for i := range agg {
+			agg[i] = identity
+			has[i] = false
+		}
+		for p := 0; p < P; p++ {
+			bytesPerPart[p] = 0
+			opsPerPart[p] = 0
+			partialsPerPart[p] = 0
+		}
+
+		// Traversal phase, one partition (memory node) at a time.
+		wts := g.Weights()
+		for p := 0; p < P; p++ {
+			partKey := int64(iter)*int64(P) + int64(p)
+			p32 := int32(p)
+			for _, v := range partFrontier[p] {
+				deg := g.OutDegree(v)
+				rec.ActiveEdges += deg
+				bytesPerPart[p] += deg * kernels.EdgeBytes
+				opsPerPart[p] += float64(deg) * tr.FLOPsPerEdge
+				if e.cached != nil && e.cached[v] {
+					rec.CachedEdgeBytes += deg * kernels.EdgeBytes
+				}
+				lo, hi := g.EdgeRange(v)
+				nbrs := g.Edges()[lo:hi]
+				for i, dst := range nbrs {
+					if parts[dst] != p32 {
+						rec.CrossEdges++
+					}
+					w := float32(1)
+					if wts != nil {
+						w = wts[lo+int64(i)]
+					}
+					u, ok := k.Scatter(kernels.EdgeContext{
+						Src: v, Dst: dst, SrcValue: values[v], Weight: w, SrcOutDegree: deg,
+					})
+					if !ok {
+						continue
+					}
+					if has[dst] {
+						agg[dst] = k.Aggregate(agg[dst], u)
+					} else {
+						agg[dst] = u
+						has[dst] = true
+					}
+					if partStamp[dst] != partKey {
+						partStamp[dst] = partKey
+						rec.PartialUpdates++
+						partialsPerPart[p]++
+						if parts[dst] != p32 {
+							rec.RemotePartialUpdates++
+						}
+					}
+					if iterStamp[dst] != int64(iter) {
+						iterStamp[dst] = int64(iter)
+						rec.DistinctDsts++
+					}
+				}
+			}
+		}
+		res.FrontierSizes = append(res.FrontierSizes, rec.FrontierSize)
+		res.ActiveEdges = append(res.ActiveEdges, rec.ActiveEdges)
+		res.Iterations++
+
+		// Stateful kernels consume the frontier's pending state once the
+		// traversal is complete, before any Apply of this iteration.
+		if sk, ok := k.(kernels.StatefulKernel); ok {
+			frontier.ForEach(sk.OnScattered)
+		}
+
+		// Update phase.
+		next := kernels.NewFrontier(n)
+		var residual float64
+		var applies int64
+		if tr.AllVerticesActive {
+			for v := 0; v < n; v++ {
+				nv, _ := k.Apply(g, graph.VertexID(v), values[v], agg[v], has[v])
+				residual += math.Abs(nv - values[v])
+				values[v] = nv
+			}
+			applies = int64(n)
+			if tr.Epsilon > 0 && residual < tr.Epsilon {
+				res.Converged = true
+				e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
+				run.Records = append(run.Records, rec)
+				prev = &run.Records[len(run.Records)-1]
+				break
+			}
+			next.ActivateAll()
+		} else {
+			for v := 0; v < n; v++ {
+				if !has[v] {
+					continue
+				}
+				applies++
+				nv, activate := k.Apply(g, graph.VertexID(v), values[v], agg[v], true)
+				values[v] = nv
+				if activate {
+					next.Activate(graph.VertexID(v))
+				}
+			}
+		}
+		e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
+		run.Records = append(run.Records, rec)
+		prev = &run.Records[len(run.Records)-1]
+		frontier = next
+	}
+	if !res.Converged && res.Iterations < tr.MaxIterations {
+		res.Converged = true
+	}
+	run.Result = res
+	run.finalize()
+	return run, nil
+}
+
+// finishRecord derives the byte quantities from the iteration counters,
+// applies post-hoc policy overrides if present, and calls the engine's
+// accounting hook.
+func (e *execution) finishRecord(rec *Record, applies int64, bytesPerPart []int64, opsPerPart []float64, partialsPerPart []int64, partMask []bool, next *kernels.Frontier) {
+	rec.NextFrontierSize = next.Count()
+	rec.EdgeFetchBytes = rec.ActiveEdges * kernels.EdgeBytes
+	rec.UpdateMoveBytes = rec.PartialUpdates * kernels.UpdateBytes
+	rec.WritebackBytes = rec.NextFrontierSize * kernels.PropertyBytes
+	rec.MirrorReduceBytes = rec.RemotePartialUpdates * kernels.UpdateBytes
+	var broadcast int64
+	if e.mirrorCount != nil {
+		next.ForEach(func(v graph.VertexID) {
+			broadcast += int64(e.mirrorCount[v])
+		})
+	}
+	rec.MirrorBroadcastBytes = broadcast * kernels.UpdateBytes
+
+	// Per-partition breakdown: each memory node's edge volume, partial
+	// updates, and share of the property write-back.
+	P := e.assign.K
+	rec.PerPartition = make([]PartitionRecord, P)
+	for p := 0; p < P; p++ {
+		rec.PerPartition[p] = PartitionRecord{
+			EdgeBytes:      bytesPerPart[p],
+			PartialUpdates: partialsPerPart[p],
+		}
+	}
+	next.ForEach(func(v graph.VertexID) {
+		rec.PerPartition[e.assign.Parts[v]].Activated++
+	})
+	rec.MixedOracleBytes = 0
+	for p := 0; p < P; p++ {
+		rec.MixedOracleBytes += rec.PerPartition[p].MinCost()
+	}
+
+	switch e.policy.(type) {
+	case PartitionPostHocPolicy:
+		// Every memory node independently picks its cheaper mechanism.
+		any := false
+		for p := 0; p < P; p++ {
+			off := rec.PerPartition[p].OffloadCost() < rec.PerPartition[p].EdgeBytes
+			rec.PerPartition[p].Offloaded = off
+			any = any || off
+		}
+		rec.Offloaded = any
+	case PostHocPolicy:
+		rec.Offloaded = rec.UpdateMoveBytes+rec.WritebackBytes < rec.EdgeFetchBytes
+	default:
+		if partMask != nil {
+			for p := 0; p < P && p < len(partMask); p++ {
+				rec.PerPartition[p].Offloaded = partMask[p]
+			}
+		} else if rec.Offloaded {
+			for p := 0; p < P; p++ {
+				rec.PerPartition[p].Offloaded = true
+			}
+		}
+	}
+	rec.maxPartBytes = maxOf(bytesPerPart)
+	rec.maxPartOps = maxOfF(opsPerPart)
+	rec.Applies = applies
+	e.account(rec)
+}
+
+// MixedMoveBytes sums each partition's cost under its recorded decision.
+func (r *Record) MixedMoveBytes() int64 {
+	var total int64
+	for _, p := range r.PerPartition {
+		if p.Offloaded {
+			total += p.OffloadCost()
+		} else {
+			total += p.EdgeBytes
+		}
+	}
+	return total
+}
+
+func anyTrue(mask []bool) bool {
+	for _, b := range mask {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+func maxOf(xs []int64) int64 {
+	var m int64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOfF(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// aggregatedMoveBytes models the switch compressing the partial-update
+// stream: with unlimited buffer the switch emits one update per distinct
+// destination; with a bounded buffer, destinations beyond capacity pass
+// through unaggregated at the stream's mean multiplicity (Section IV-C's
+// buffer-capacity caveat).
+func aggregatedMoveBytes(rec *Record, bufferEntries int64) int64 {
+	if rec.DistinctDsts == 0 {
+		return 0
+	}
+	if bufferEntries <= 0 || rec.DistinctDsts <= bufferEntries {
+		return rec.DistinctDsts * kernels.UpdateBytes
+	}
+	meanMultiplicity := float64(rec.PartialUpdates) / float64(rec.DistinctDsts)
+	passThrough := float64(rec.DistinctDsts-bufferEntries) * meanMultiplicity
+	return (bufferEntries + int64(passThrough)) * kernels.UpdateBytes
+}

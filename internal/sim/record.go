@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/kernels"
+)
+
+// Record captures one iteration's measured quantities. The raw counters
+// (frontier, edges, partial updates) are architecture-independent; the
+// byte and time fields are filled in by the engine according to its
+// architecture's movement pattern.
+type Record struct {
+	Iteration int
+
+	// FrontierSize is the number of active vertices entering the
+	// iteration; ActiveEdges is their total out-degree (traversal volume).
+	FrontierSize int64
+	ActiveEdges  int64
+	// NextFrontierSize is the number of vertices activated for the next
+	// iteration (the count of changed vertex properties).
+	NextFrontierSize int64
+	// CrossEdges counts traversed edges whose source and destination live
+	// in different partitions.
+	CrossEdges int64
+	// PartialUpdates counts distinct (destination, partition) pairs
+	// produced by the traversal — the mirror updates each memory node
+	// buffers (Section IV's message buffers).
+	PartialUpdates int64
+	// RemotePartialUpdates counts the subset of PartialUpdates whose
+	// partition is not the destination's owner (the mirror→master reduce
+	// volume in distributed architectures).
+	RemotePartialUpdates int64
+	// DistinctDsts counts destinations receiving at least one update —
+	// the floor in-network aggregation can compress the update stream to.
+	DistinctDsts int64
+
+	// EdgeFetchBytes is what moving the frontier's edge lists would cost
+	// (the no-NDP disaggregated pattern: ActiveEdges × 8 B).
+	EdgeFetchBytes int64
+	// CachedEdgeBytes is the subset of EdgeFetchBytes served from the
+	// hosts' local edge cache (FAM-Graph-style tiering) — no interconnect
+	// crossing.
+	CachedEdgeBytes int64
+	// UpdateMoveBytes is what moving the partial updates would cost (the
+	// NDP pattern: PartialUpdates × 16 B).
+	UpdateMoveBytes int64
+	// WritebackBytes propagates refreshed vertex properties back to the
+	// memory nodes (NextFrontierSize × 16 B) in NDP runs.
+	WritebackBytes int64
+	// AggregatedMoveBytes is the switch→compute volume after in-network
+	// aggregation (≥ DistinctDsts × 16 B, depending on switch buffer).
+	AggregatedMoveBytes int64
+	// MirrorReduceBytes and MirrorBroadcastBytes are the two distributed
+	// synchronization volumes (Figure 2's communication patterns).
+	MirrorReduceBytes    int64
+	MirrorBroadcastBytes int64
+
+	// Applies counts Apply invocations (update-phase work items).
+	Applies int64
+	// PerPartition holds the per-memory-node breakdown of the iteration,
+	// populated by engines that make (or evaluate) per-partition offload
+	// decisions — the paper's "which operations to offload, and where".
+	PerPartition []PartitionRecord
+	// MixedOracleBytes is the per-partition lower bound: every memory
+	// node independently picks the cheaper of shipping its edges or its
+	// partial updates (plus its share of the property write-back).
+	MixedOracleBytes int64
+	// Offloaded reports whether this iteration ran the traversal on the
+	// memory-node NDP units (decided by the engine's offload policy).
+	Offloaded bool
+	// DataMovementBytes is the headline metric: bytes crossing the
+	// compute-node boundary this iteration under the engine's
+	// architecture and this iteration's offload decision.
+	DataMovementBytes int64
+	// SyncEvents counts barrier participants this iteration.
+	SyncEvents int64
+	// EstimatedSeconds is the modeled wall-clock time of the iteration.
+	EstimatedSeconds float64
+	// EnergyJoules is the modeled energy of the iteration: data movement
+	// over the interconnect, DRAM streaming (host or near-data), and
+	// arithmetic on whichever units executed each phase.
+	EnergyJoules float64
+
+	// Scratch quantities handed to the engine accounting hook: the
+	// straggler partition's traversal bytes and arithmetic ops.
+	maxPartBytes int64
+	maxPartOps   float64
+}
+
+// PartitionRecord is one memory node's share of an iteration.
+type PartitionRecord struct {
+	// EdgeBytes is the cost of shipping this partition's traversed edge
+	// lists to the hosts; PartialUpdates the distinct destinations its
+	// NDP unit would emit; Activated the next-frontier vertices whose
+	// refreshed properties it must receive.
+	EdgeBytes      int64
+	PartialUpdates int64
+	Activated      int64
+	// Offloaded reports this partition's decision when a per-partition
+	// policy ran.
+	Offloaded bool
+}
+
+// OffloadCost is the bytes this partition moves when offloaded: its
+// partial updates out plus its share of the property write-back in.
+func (p PartitionRecord) OffloadCost() int64 {
+	return p.PartialUpdates*kernels.UpdateBytes + p.Activated*kernels.PropertyBytes
+}
+
+// MinCost is the cheaper of this partition's two mechanisms.
+func (p PartitionRecord) MinCost() int64 {
+	if c := p.OffloadCost(); c < p.EdgeBytes {
+		return c
+	}
+	return p.EdgeBytes
+}
+
+// Run is the complete output of one engine execution.
+type Run struct {
+	Engine  string
+	Kernel  string
+	Records []Record
+	Result  *kernels.Result
+
+	// OffloadSupported reports whether the configured NDP device could
+	// execute this kernel near data; when false, OffloadNote explains why
+	// and NDP engines fell back to host execution.
+	OffloadSupported bool
+	OffloadNote      string
+
+	// Totals over all iterations.
+	TotalDataMovementBytes int64
+	TotalSyncEvents        int64
+	TotalSeconds           float64
+	TotalEnergyJoules      float64
+}
+
+// finalize computes totals from Records.
+func (r *Run) finalize() {
+	r.TotalDataMovementBytes = 0
+	r.TotalSyncEvents = 0
+	r.TotalSeconds = 0
+	r.TotalEnergyJoules = 0
+	for i := range r.Records {
+		r.TotalDataMovementBytes += r.Records[i].DataMovementBytes
+		r.TotalSyncEvents += r.Records[i].SyncEvents
+		r.TotalSeconds += r.Records[i].EstimatedSeconds
+		r.TotalEnergyJoules += r.Records[i].EnergyJoules
+	}
+}
+
+// MovementSeries returns per-iteration DataMovementBytes — the series
+// Figure 7 plots.
+func (r *Run) MovementSeries() []int64 {
+	out := make([]int64, len(r.Records))
+	for i := range r.Records {
+		out[i] = r.Records[i].DataMovementBytes
+	}
+	return out
+}
+
+// String summarizes the run.
+func (r *Run) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s: %d iterations, moved %d bytes, %d sync events, est %.3f ms",
+		r.Engine, r.Kernel, len(r.Records), r.TotalDataMovementBytes, r.TotalSyncEvents, r.TotalSeconds*1e3)
+	return b.String()
+}

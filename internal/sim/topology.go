@@ -1,0 +1,187 @@
+// Package sim simulates the four system architectures the paper compares
+// (Table II) executing graph analytics kernels, and accounts the data
+// movement, synchronization, and estimated time of every iteration:
+//
+//   - Distributed: Gluon-style master/mirror execution across
+//     general-purpose servers;
+//   - DistributedNDP: GraphQ-style PIM clusters (near-memory acceleration
+//     inside nodes, unchanged inter-node movement);
+//   - Disaggregated: FAM-Graph-style far memory (hosts fetch remote edge
+//     lists, process locally);
+//   - DisaggregatedNDP: this paper's proposal (traversal offloaded to
+//     NDP-capable memory nodes, optional in-network aggregation).
+//
+// The methodology follows the paper's Section IV emulation prototype: the
+// engine splits the traversal and update phases, tracks the partial-update
+// buffers each memory node would produce, and counts the bytes moved
+// between phases in every iteration (8 B per fetched edge entry, 16 B per
+// partial vertex update, 16 B per written-back vertex property).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ndp"
+)
+
+// Topology describes the simulated cluster: node counts, link parameters,
+// and the NDP devices available at the memory pool and the switch.
+type Topology struct {
+	// ComputeNodes is the number of host servers running the update phase
+	// (and, without NDP, the traversal too).
+	ComputeNodes int
+	// MemoryNodes is the number of memory-pool nodes holding edge-list
+	// partitions; it equals the partition count in disaggregated runs. In
+	// distributed runs the same count is the number of servers.
+	MemoryNodes int
+
+	// HostGFlops is one compute node's usable arithmetic throughput.
+	HostGFlops float64
+	// HostMemBWGBps is one compute node's local memory bandwidth; the
+	// traversal phase is bound by it when executed on the host.
+	HostMemBWGBps float64
+	// NetworkGBps is the bandwidth of one network link.
+	NetworkGBps float64
+	// NetworkLatency is the one-way latency per synchronization round.
+	NetworkLatency time.Duration
+
+	// MemDevice is the NDP unit attached to each memory node.
+	MemDevice ndp.Device
+	// MemDevices optionally assigns a distinct device per memory node
+	// (heterogeneous pools mixing, say, CXL-CMS and UPMEM modules). When
+	// non-nil it must have MemoryNodes entries and overrides MemDevice.
+	MemDevices []ndp.Device
+	// MemDeviceGFlops is one memory node's NDP arithmetic throughput.
+	MemDeviceGFlops float64
+	// SwitchDevice is the in-network compute element.
+	SwitchDevice ndp.Device
+	// SwitchBufferEntries bounds how many distinct destinations the
+	// switch can aggregate concurrently (Section IV-C notes buffer
+	// capacity as the practical limit); 0 means unlimited.
+	SwitchBufferEntries int64
+
+	// Energy parameters, in picojoules. Near-data execution saves energy
+	// two ways (the Graphicionado argument the paper cites): shorter data
+	// paths (NDPDRAMPJPerByte < HostDRAMPJPerByte, and far less traffic at
+	// LinkEnergyPJPerByte) and simpler cores (NDPPJPerOp < HostPJPerOp).
+	LinkEnergyPJPerByte float64
+	HostDRAMPJPerByte   float64
+	NDPDRAMPJPerByte    float64
+	HostPJPerOp         float64
+	NDPPJPerOp          float64
+	SwitchPJPerOp       float64
+}
+
+// DefaultTopology returns a topology modeled on the paper's context: a
+// couple of beefy hosts, a memory pool with CXL-class NDP (Table I
+// bandwidths), and a SHARP-class switch.
+func DefaultTopology(computeNodes, memoryNodes int) Topology {
+	return Topology{
+		ComputeNodes:        computeNodes,
+		MemoryNodes:         memoryNodes,
+		HostGFlops:          100,
+		HostMemBWGBps:       100,
+		NetworkGBps:         12.5, // 100 Gb/s link
+		NetworkLatency:      2 * time.Microsecond,
+		MemDevice:           ndp.DefaultMemoryDevice(),
+		MemDeviceGFlops:     25,
+		SwitchDevice:        ndp.DefaultSwitchDevice(),
+		SwitchBufferEntries: 0,
+		// Representative energy figures: ~60 pJ/B to cross the network
+		// (serdes + switch), ~20 pJ/B host DRAM, ~8 pJ/B on-module NDP
+		// access, 50/20 pJ per host/NDP arithmetic op, 10 pJ per switch
+		// ALU op.
+		LinkEnergyPJPerByte: 60,
+		HostDRAMPJPerByte:   20,
+		NDPDRAMPJPerByte:    8,
+		HostPJPerOp:         50,
+		NDPPJPerOp:          20,
+		SwitchPJPerOp:       10,
+	}
+}
+
+// Validate checks the topology for usability.
+func (t Topology) Validate() error {
+	if t.ComputeNodes <= 0 {
+		return fmt.Errorf("sim: ComputeNodes = %d, want > 0", t.ComputeNodes)
+	}
+	if t.MemoryNodes <= 0 {
+		return fmt.Errorf("sim: MemoryNodes = %d, want > 0", t.MemoryNodes)
+	}
+	if t.HostGFlops <= 0 || t.HostMemBWGBps <= 0 || t.NetworkGBps <= 0 {
+		return fmt.Errorf("sim: throughputs must be positive: %+v", t)
+	}
+	if t.NetworkLatency < 0 {
+		return fmt.Errorf("sim: negative network latency")
+	}
+	if t.MemDevices != nil && len(t.MemDevices) != t.MemoryNodes {
+		return fmt.Errorf("sim: MemDevices has %d entries, topology has %d memory nodes", len(t.MemDevices), t.MemoryNodes)
+	}
+	return nil
+}
+
+// DeviceFor returns the NDP device on memory node p.
+func (t Topology) DeviceFor(p int) ndp.Device {
+	if t.MemDevices != nil {
+		return t.MemDevices[p]
+	}
+	return t.MemDevice
+}
+
+// linkTime returns the time to move n bytes over one network link plus a
+// latency round.
+func (t Topology) linkTime(bytes int64) float64 {
+	return float64(bytes)/(t.NetworkGBps*1e9) + t.NetworkLatency.Seconds()
+}
+
+// hostComputeTime returns the time for ops arithmetic operations spread
+// over the compute nodes.
+func (t Topology) hostComputeTime(ops float64) float64 {
+	return ops / (t.HostGFlops * 1e9 * float64(t.ComputeNodes))
+}
+
+// hostTraverseTime returns the time for the hosts to stream bytes from
+// local memory.
+func (t Topology) hostTraverseTime(bytes int64) float64 {
+	return float64(bytes) / (t.HostMemBWGBps * 1e9 * float64(t.ComputeNodes))
+}
+
+// pico converts picojoules to joules.
+func pico(pj float64) float64 { return pj * 1e-12 }
+
+// hostExecutionEnergy models a host-side traversal: the pool serves the
+// edge bytes (pool-side DRAM read), they cross the interconnect, the host
+// streams them from its own memory, and host cores run the arithmetic.
+func (t Topology) hostExecutionEnergy(movedBytes int64, hostOps float64) float64 {
+	return pico(float64(movedBytes)*(t.NDPDRAMPJPerByte+t.LinkEnergyPJPerByte+t.HostDRAMPJPerByte) +
+		hostOps*t.HostPJPerOp)
+}
+
+// ndpExecutionEnergy models a near-data traversal: edges stream inside
+// the memory module, NDP units run the edge arithmetic (penalty scales
+// emulated operations), only the update bytes cross the interconnect, and
+// the host runs the apply phase.
+func (t Topology) ndpExecutionEnergy(localEdgeBytes, movedBytes int64, ndpOps, penalty, hostOps, switchOps float64) float64 {
+	return pico(float64(localEdgeBytes)*t.NDPDRAMPJPerByte +
+		ndpOps*penalty*t.NDPPJPerOp +
+		float64(movedBytes)*(t.LinkEnergyPJPerByte+t.HostDRAMPJPerByte) +
+		hostOps*t.HostPJPerOp +
+		switchOps*t.SwitchPJPerOp)
+}
+
+// memTraverseTime returns the time for the memory-node NDP units to stream
+// maxPartitionBytes (the straggler partition) from their local arrays and
+// run maxPartitionOps, applying the device's kernel penalty.
+func (t Topology) memTraverseTime(maxPartitionBytes int64, maxPartitionOps, penalty float64) float64 {
+	bw := t.MemDevice.InternalBandwidthGBps
+	if bw <= 0 {
+		bw = t.HostMemBWGBps
+	}
+	stream := float64(maxPartitionBytes) / (bw * 1e9)
+	compute := maxPartitionOps * penalty / (t.MemDeviceGFlops * 1e9)
+	if compute > stream {
+		return compute
+	}
+	return stream
+}
