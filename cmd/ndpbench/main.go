@@ -100,7 +100,7 @@ func writeArtifact(dir string, a *experiments.Artifact) error {
 		return err
 	}
 	if err := a.Table.RenderCSV(f); err != nil {
-		f.Close()
+		_ = f.Close() // render error takes precedence
 		return err
 	}
 	if err := f.Close(); err != nil {

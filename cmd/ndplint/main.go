@@ -1,0 +1,97 @@
+// Command ndplint runs the project's static-analysis suite: determinism
+// and concurrency invariants the emulator's methodology depends on,
+// enforced with stdlib go/ast + go/types only.
+//
+//	ndplint ./...                     # human output, exit 1 on findings
+//	ndplint -json ./...               # machine-readable findings
+//	ndplint -rules maporder,errcheck  # run a subset of the rules
+//	ndplint -list                     # list rules and what they enforce
+//
+// Suppress a single finding with a directive on (or above) the line:
+//
+//	//lint:ignore <rule> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	ruleFilter := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	listRules := flag.Bool("list", false, "list lint rules and exit")
+	includeTests := flag.Bool("tests", false, "also lint _test.go files")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *listRules {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+	if *ruleFilter != "" {
+		byName := make(map[string]lint.Analyzer, len(analyzers))
+		var names []string
+		for _, a := range analyzers {
+			byName[a.Name()] = a
+			names = append(names, a.Name())
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*ruleFilter, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fail(fmt.Errorf("unknown rule %q (valid: %s)", name, strings.Join(names, ", ")))
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fail(err)
+	}
+	loader.IncludeTests = *includeTests
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fail(err)
+	}
+	diags := lint.Run(analyzers, pkgs)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(os.Stderr, "ndplint: %d finding(s)\n", len(diags))
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "ndplint: %v\n", err)
+	os.Exit(2)
+}

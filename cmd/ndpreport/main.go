@@ -9,12 +9,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
+
+// errWriter tracks the first write failure so the report generator can
+// print unconditionally and fail once at the end — a truncated report
+// (full disk, broken pipe) must not exit 0.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.5, "dataset scale factor")
@@ -23,23 +39,22 @@ func main() {
 	flag.Parse()
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, PageRankIterations: *priters}
-	w := os.Stdout
+	w := &errWriter{w: os.Stdout}
 
-	fmt.Fprintf(w, "# Reproduction report — Disaggregated NDP Architectures for Large-scale Graph Analytics\n\n")
-	fmt.Fprintf(w, "Configuration: scale=%g seed=%d pagerank-iterations=%d\n\n", *scale, *seed, *priters)
-	fmt.Fprintf(w, "Regenerate any section with `go run ./cmd/ndpbench -scale %g -seed %d <id>`.\n\n", *scale, *seed)
+	w.printf("# Reproduction report — Disaggregated NDP Architectures for Large-scale Graph Analytics\n\n")
+	w.printf("Configuration: scale=%g seed=%d pagerank-iterations=%d\n\n", *scale, *seed, *priters)
+	w.printf("Regenerate any section with `go run ./cmd/ndpbench -scale %g -seed %d <id>`.\n\n", *scale, *seed)
 
 	okTotal, mismatchTotal := 0, 0
 	for _, id := range experiments.IDs() {
 		a, err := experiments.Run(id, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ndpreport: %s: %v\n", id, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("%s: %v", id, err))
 		}
-		fmt.Fprintf(w, "## `%s` — %s\n\n", a.ID, a.Title)
+		w.printf("## `%s` — %s\n\n", a.ID, a.Title)
 		writeMarkdownTable(w, a.Table)
 		if len(a.Notes) > 0 {
-			fmt.Fprintln(w)
+			w.printf("\n")
 			for _, n := range a.Notes {
 				marker := "-"
 				switch {
@@ -50,36 +65,43 @@ func main() {
 					marker = "- ❌"
 					mismatchTotal++
 				}
-				fmt.Fprintf(w, "%s %s\n", marker, n)
+				w.printf("%s %s\n", marker, n)
 			}
 		}
-		fmt.Fprintln(w)
+		w.printf("\n")
 	}
-	fmt.Fprintf(w, "---\n\n**Paper-shape checks: %d passed, %d failed.**\n", okTotal, mismatchTotal)
+	w.printf("---\n\n**Paper-shape checks: %d passed, %d failed.**\n", okTotal, mismatchTotal)
+	if w.err != nil {
+		fatal(w.err)
+	}
 	if mismatchTotal > 0 {
 		os.Exit(1)
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ndpreport: %v\n", err)
+	os.Exit(1)
+}
+
 // writeMarkdownTable renders a metrics.Table as GitHub-flavored markdown
 // by converting its CSV form (the only loss is column alignment, which
 // markdown renderers redo anyway).
-func writeMarkdownTable(w *os.File, t *metrics.Table) {
+func writeMarkdownTable(w *errWriter, t *metrics.Table) {
 	var csv strings.Builder
 	if err := t.RenderCSV(&csv); err != nil {
-		fmt.Fprintf(os.Stderr, "ndpreport: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
 	for i, line := range lines {
 		cells := splitCSVLine(line)
-		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		w.printf("| %s |\n", strings.Join(cells, " | "))
 		if i == 0 {
 			seps := make([]string, len(cells))
 			for j := range seps {
 				seps[j] = "---"
 			}
-			fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+			w.printf("| %s |\n", strings.Join(seps, " | "))
 		}
 	}
 }

@@ -119,7 +119,7 @@ func main() {
 				fatal(err)
 			}
 			if err := sim.WriteRecordsCSV(f, run); err != nil {
-				f.Close()
+				_ = f.Close() // write error takes precedence
 				fatal(err)
 			}
 			if err := f.Close(); err != nil {

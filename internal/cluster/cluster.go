@@ -106,10 +106,14 @@ type Outcome struct {
 type traverseCmd struct{ iteration int }
 
 // updateBatch carries partial updates from one memory node (via the
-// switch) toward the compute nodes. mem identifies the producing memory
-// node; final marks the producer's last batch of the iteration.
+// switch) toward the compute nodes. src identifies the producer (memory
+// node index at the leaves, switch index further up) so a receiving
+// switch can reduce its children in fixed src order instead of
+// channel-arrival order — float aggregation in arrival order would make
+// identical runs disagree. final marks the producer's last batch of the
+// iteration.
 type updateBatch struct {
-	mem     int
+	src     int
 	updates []Update
 	final   bool
 }

@@ -29,8 +29,10 @@ func clusterAssign(t testing.TB, g *graph.Graph, parts int) *partition.Assignmen
 	return a
 }
 
-// concurrency makes floating-point sum order nondeterministic; min/max
-// kernels must still be exact.
+// The cluster's partition-then-reduce structure associates floating-point
+// sums differently than the serial reference (run-to-run the cluster is
+// bit-deterministic — see TestClusterDeterministicRuns — but the
+// association differs from serial's); min/max kernels must still be exact.
 func tolFor(k kernels.Kernel) float64 {
 	if k.Traits().Agg == kernels.AggSum {
 		return 1e-9
@@ -236,6 +238,64 @@ func BenchmarkClusterPageRank(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := Run(g, k, a, Config{ComputeNodes: 2, Aggregate: true}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestClusterDeterministicRuns asserts the invariant ndplint's maporder
+// rule exists to protect: two identical cluster runs must agree
+// bit-for-bit — values, iteration counts, and every recorded traffic
+// number — despite goroutine scheduling. Sum kernels are the sensitive
+// case (float aggregation order), so PageRank and SSSP run under both
+// flat and tree topologies, with and without in-network aggregation.
+func TestClusterDeterministicRuns(t *testing.T) {
+	g := clusterGraph(t)
+	a := clusterAssign(t, g, 6)
+	for _, kn := range []string{"pagerank", "sssp"} {
+		k, err := kernels.ByName(kn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{ComputeNodes: 3},
+			{ComputeNodes: 3, Aggregate: true},
+			{ComputeNodes: 2, Aggregate: true, TreeFanIn: 2},
+		} {
+			ref, err := Run(g, k, a, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rerun := 0; rerun < 3; rerun++ {
+				out, err := Run(g, k, a, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out.Iterations != ref.Iterations || out.Converged != ref.Converged {
+					t.Fatalf("%s %+v: iterations %d/%v, first run %d/%v",
+						kn, cfg, out.Iterations, out.Converged, ref.Iterations, ref.Converged)
+				}
+				for v := range ref.Values {
+					if out.Values[v] != ref.Values[v] {
+						t.Fatalf("%s %+v rerun %d: value[%d] = %g, first run %g (bit-for-bit determinism broken)",
+							kn, cfg, rerun, v, out.Values[v], ref.Values[v])
+					}
+				}
+				if len(out.PerIteration) != len(ref.PerIteration) {
+					t.Fatalf("%s %+v: per-iteration length %d vs %d", kn, cfg, len(out.PerIteration), len(ref.PerIteration))
+				}
+				for i := range ref.PerIteration {
+					if out.PerIteration[i] != ref.PerIteration[i] {
+						t.Fatalf("%s %+v rerun %d it%d: traffic %+v, first run %+v",
+							kn, cfg, rerun, i, out.PerIteration[i], ref.PerIteration[i])
+					}
+				}
+				for l := range ref.LevelBytes {
+					if out.LevelBytes[l] != ref.LevelBytes[l] {
+						t.Fatalf("%s %+v rerun %d: level %d bytes %d, first run %d",
+							kn, cfg, rerun, l, out.LevelBytes[l], ref.LevelBytes[l])
+					}
+				}
+			}
 		}
 	}
 }

@@ -2,11 +2,26 @@ package cluster
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/partition"
 )
+
+// sortedVertices returns m's keys in ascending vertex order. Every actor
+// iterates its vertex-keyed maps through this: map iteration order is
+// randomized, and letting it leak into batch composition or float
+// aggregation order would make two runs of the same seed disagree on
+// recorded traffic and computed values.
+func sortedVertices(m map[graph.VertexID]float64) []graph.VertexID {
+	keys := make([]graph.VertexID, 0, len(m))
+	for v := range m {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
 
 // batchSize bounds how many updates travel in one message.
 const batchSize = 512
@@ -37,8 +52,11 @@ type switchSummary struct {
 // switchSpec describes one switch actor in the aggregation tree.
 type switchSpec struct {
 	level int
-	ctrl  chan ctrl
-	in    chan updateBatch
+	// idx is the switch's index within its level, used as the src id on
+	// upward sends so the parent reduces children in a fixed order.
+	idx  int
+	ctrl chan ctrl
+	in   chan updateBatch
 	// children is the number of final markers to await per iteration
 	// (memory nodes for leaves, child switches otherwise).
 	children int
@@ -139,6 +157,7 @@ func (d *driver) buildTree(depth int) {
 		for i := range cur {
 			cur[i] = &switchSpec{
 				level: level,
+				idx:   i,
 				ctrl:  make(chan ctrl, 1),
 				in:    make(chan updateBatch, depth),
 			}
@@ -224,15 +243,21 @@ func (d *driver) run() (*Outcome, error) {
 		for m := 0; m < d.M; m++ {
 			d.memCtrl[m] <- ctrlIterate
 		}
-		// Collect end-of-iteration reports.
+		// Collect end-of-iteration reports. Summaries arrive in scheduler
+		// order; the float residual is reduced in compute-node order so
+		// the convergence decision is reproducible.
 		var traffic Traffic
 		var activated int64
-		var residual float64
+		residuals := make([]float64, d.C)
 		for i := 0; i < d.C; i++ {
 			s := <-d.summaryCh
 			activated += s.activated
-			residual += s.residual
+			residuals[s.compute] = s.residual
 			traffic.Writeback += s.writebackBytes
+		}
+		var residual float64
+		for _, r := range residuals {
+			residual += r
 		}
 		for i := 0; i < len(d.switches); i++ {
 			sw := <-d.swSumCh
@@ -305,7 +330,8 @@ func (d *driver) memoryNode(m int, active map[graph.VertexID]float64) {
 		// pre-aggregating per destination (this local reduction is what
 		// turns edge traffic into per-destination partial updates).
 		partials := make(map[graph.VertexID]float64)
-		for v, val := range active {
+		for _, v := range sortedVertices(active) {
+			val := active[v]
 			deg := g.OutDegree(v)
 			lo, hi := g.EdgeRange(v)
 			nbrs := g.Edges()[lo:hi]
@@ -330,11 +356,11 @@ func (d *driver) memoryNode(m int, active map[graph.VertexID]float64) {
 		}
 		batch := make([]Update, 0, batchSize)
 		flush := func(final bool) {
-			d.memTarget[m] <- updateBatch{mem: m, updates: batch, final: final}
+			d.memTarget[m] <- updateBatch{src: m, updates: batch, final: final}
 			batch = make([]Update, 0, batchSize)
 		}
-		for dst, val := range partials {
-			batch = append(batch, Update{Vertex: dst, Value: val})
+		for _, dst := range sortedVertices(partials) {
+			batch = append(batch, Update{Vertex: dst, Value: partials[dst]})
 			if len(batch) == batchSize {
 				flush(false)
 			}
@@ -363,6 +389,13 @@ func (d *driver) memoryNode(m int, active map[graph.VertexID]float64) {
 // leaves, child switches otherwise), optionally merges updates for the
 // same destination, and forwards the stream to its parent — or, at the
 // root, routes each update to the compute node owning its destination.
+//
+// Batches from different children interleave on the input channel in
+// scheduler-dependent order, so the actor stages them per child and
+// reduces in ascending child id once every child has finished. Within one
+// child the channel preserves send order, so the staged sequences — and
+// with them every float aggregation and the emitted stream — are
+// identical across runs.
 func (d *driver) switchActor(s *switchSpec) {
 	k := d.k
 	isRoot := s.parent == nil
@@ -377,13 +410,13 @@ func (d *driver) switchActor(s *switchSpec) {
 		outBatch := make([][]Update, d.C)
 		sendRoot := func(c int, final bool) {
 			sum.bytesOut += int64(len(outBatch[c])) * UpdateBytes
-			d.compIn[c] <- updateBatch{updates: outBatch[c], final: final}
+			d.compIn[c] <- updateBatch{src: s.idx, updates: outBatch[c], final: final}
 			outBatch[c] = nil
 		}
 		var upBatch []Update
 		sendUp := func(final bool) {
 			sum.bytesOut += int64(len(upBatch)) * UpdateBytes
-			s.parent <- updateBatch{updates: upBatch, final: final}
+			s.parent <- updateBatch{src: s.idx, updates: upBatch, final: final}
 			upBatch = nil
 		}
 		emit := func(u Update) {
@@ -401,34 +434,47 @@ func (d *driver) switchActor(s *switchSpec) {
 			}
 		}
 
-		var agg map[graph.VertexID]float64
-		if d.cfg.Aggregate {
-			agg = make(map[graph.VertexID]float64)
-		}
+		// Stage phase: drain every child, keeping each child's updates
+		// in its own send order.
+		staged := make(map[int][]Update)
 		finals := 0
 		for finals < s.children {
 			b := <-s.in
 			sum.bytesIn += int64(len(b.updates)) * UpdateBytes
-			if agg != nil {
-				for _, u := range b.updates {
-					if prev, seen := agg[u.Vertex]; seen {
-						agg[u.Vertex] = k.Aggregate(prev, u.Value)
-					} else {
-						agg[u.Vertex] = u.Value
-					}
-				}
-			} else {
-				for _, u := range b.updates {
-					emit(u)
-				}
+			if len(b.updates) > 0 {
+				staged[b.src] = append(staged[b.src], b.updates...)
 			}
 			if b.final {
 				finals++
 			}
 		}
+		children := make([]int, 0, len(staged))
+		for src := range staged {
+			children = append(children, src)
+		}
+		sort.Ints(children)
+
+		// Reduce phase, in fixed child order.
+		var agg map[graph.VertexID]float64
+		if d.cfg.Aggregate {
+			agg = make(map[graph.VertexID]float64)
+		}
+		for _, src := range children {
+			for _, u := range staged[src] {
+				if agg != nil {
+					if prev, seen := agg[u.Vertex]; seen {
+						agg[u.Vertex] = k.Aggregate(prev, u.Value)
+					} else {
+						agg[u.Vertex] = u.Value
+					}
+				} else {
+					emit(u)
+				}
+			}
+		}
 		if agg != nil {
-			for v, val := range agg {
-				emit(Update{Vertex: v, Value: val})
+			for _, v := range sortedVertices(agg) {
+				emit(Update{Vertex: v, Value: agg[v]})
 			}
 		}
 		if isRoot {
@@ -478,7 +524,8 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
 			sum.writebackBytes += UpdateBytes
 		}
 		if tr.AllVerticesActive {
-			for v, old := range values {
+			for _, v := range sortedVertices(values) {
+				old := values[v]
 				a, has := agg[v]
 				if !has {
 					a = k.Identity()
@@ -490,9 +537,9 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
 				writeback(v, nv)
 			}
 		} else {
-			for v, a := range agg {
+			for _, v := range sortedVertices(agg) {
 				old := values[v]
-				nv, activate := k.Apply(g, v, old, a, true)
+				nv, activate := k.Apply(g, v, old, agg[v], true)
 				values[v] = nv
 				if activate {
 					sum.activated++
@@ -512,9 +559,9 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
 	}
 	// Shutdown: deliver the owned value fragment.
 	frag := valueFragment{compute: c}
-	for v, val := range values {
+	for _, v := range sortedVertices(values) {
 		frag.ids = append(frag.ids, v)
-		frag.values = append(frag.values, val)
+		frag.values = append(frag.values, values[v])
 	}
 	d.valuesCh <- frag
 }

@@ -40,6 +40,7 @@ func (r *rng) float64() float64 {
 // intn returns a uniform value in [0, n). n must be positive.
 func (r *rng) intn(n int) int {
 	if n <= 0 {
+		//lint:ignore panicpath argument-contract violation by the caller, mirrors math/rand.Intn
 		panic("gen: intn with non-positive n")
 	}
 	return int(r.next() % uint64(n))

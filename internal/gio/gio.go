@@ -382,7 +382,7 @@ func SaveBinaryFile(path string, g *graph.Graph) error {
 		return err
 	}
 	if err := WriteBinary(f, g); err != nil {
-		f.Close()
+		_ = f.Close() // write error takes precedence
 		return err
 	}
 	return f.Close()

@@ -157,6 +157,7 @@ func aggregate(op AggOp, a, b float64) float64 {
 	case AggMax:
 		return math.Max(a, b)
 	default:
+		//lint:ignore panicpath exhaustive switch over the package's own enum; a new AggOp must extend this switch
 		panic(fmt.Sprintf("kernels: unknown AggOp %d", op))
 	}
 }

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatAcc flags `+=`/`-=` float accumulation into shared state from
+// inside a goroutine spawned in a loop. Beyond the obvious race, even a
+// mutex-guarded version is wrong for this codebase: goroutine scheduling
+// decides the addition order, and float addition is not associative, so
+// PageRank residuals and SSSP distances drift between identical runs.
+//
+// The sanctioned pattern — each worker accumulating into its own shard
+// and a single-threaded merge in fixed worker order — is not flagged,
+// because the accumulator there is declared inside the goroutine body.
+type FloatAcc struct{}
+
+func (FloatAcc) Name() string { return "floatacc" }
+func (FloatAcc) Doc() string {
+	return "flag shared float += accumulation inside goroutine-spawning loops (use per-worker shards + ordered merge)"
+}
+
+func (a FloatAcc) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				gos, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				fn, ok := gos.Call.Fun.(*ast.FuncLit)
+				if !ok {
+					return true
+				}
+				a.checkGoroutine(pass, fn)
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func (a FloatAcc) checkGoroutine(pass *Pass, fn *ast.FuncLit) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || (assign.Tok != token.ADD_ASSIGN && assign.Tok != token.SUB_ASSIGN) {
+			return true
+		}
+		if len(assign.Lhs) != 1 || !isFloat(pass.TypeOf(assign.Lhs[0])) {
+			return true
+		}
+		base := baseIdent(assign.Lhs[0])
+		if base == nil || pass.Info == nil {
+			return true
+		}
+		obj, ok := pass.Info.Uses[base]
+		if !ok {
+			return true
+		}
+		// Declared outside the goroutine's function literal (including
+		// its parameters) = captured, shared across the spawned workers.
+		if obj.Pos() < fn.Pos() || obj.Pos() > fn.End() {
+			pass.Report(assign.Pos(),
+				"float accumulation into captured variable "+base.Name+" from a goroutine: result depends on scheduling order",
+				"accumulate into a per-worker shard and merge shards in fixed worker order after Wait")
+		}
+		return true
+	})
+}

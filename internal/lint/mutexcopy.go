@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexCopy flags by-value copies of structs that contain a sync lock
+// (Mutex, RWMutex, WaitGroup, Once, Cond, Pool, Map): by-value function
+// parameters and results, plain variable copies, and range-value copies.
+// A copied lock is a fresh unlocked lock — goroutines synchronizing
+// through the copy silently stop excluding each other, which in this
+// codebase means racy traffic counters instead of a crash.
+type MutexCopy struct{}
+
+func (MutexCopy) Name() string { return "mutexcopy" }
+func (MutexCopy) Doc() string {
+	return "flag by-value copies of structs containing sync.Mutex/RWMutex/WaitGroup/Once/Cond/Pool/Map"
+}
+
+var lockTypeNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+func (a MutexCopy) Run(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				a.checkFieldList(pass, n.Type.Params, "parameter")
+				a.checkFieldList(pass, n.Type.Results, "result")
+			case *ast.FuncLit:
+				a.checkFieldList(pass, n.Type.Params, "parameter")
+				a.checkFieldList(pass, n.Type.Results, "result")
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break
+					}
+					if isBlank(n.Lhs[i]) || !copiesValue(rhs) {
+						continue
+					}
+					if t := pass.TypeOf(rhs); containsLock(t, nil) {
+						pass.Report(rhs.Pos(),
+							"assignment copies a "+t.String()+" containing a sync lock by value",
+							"copy a pointer to the struct instead")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlank(n.Value) {
+					if t := pass.TypeOf(n.Value); containsLock(t, nil) {
+						pass.Report(n.Value.Pos(),
+							"range value copies a "+t.String()+" containing a sync lock per iteration",
+							"range over the index (or keys) and take a pointer to each element")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (a MutexCopy) checkFieldList(pass *Pass, fl *ast.FieldList, kind string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		if t := pass.TypeOf(field.Type); containsLock(t, nil) {
+			pass.Report(field.Type.Pos(),
+				kind+" passes a "+t.String()+" containing a sync lock by value",
+				"take *"+t.String()+" instead")
+		}
+	}
+}
+
+// copiesValue reports whether rhs copies an existing value (as opposed to
+// constructing a fresh one, which is fine).
+func copiesValue(rhs ast.Expr) bool {
+	switch rhs := rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true // explicit dereference copy
+	case *ast.ParenExpr:
+		return copiesValue(rhs.X)
+	default:
+		// Composite literals, calls, unary & — all produce new values
+		// or pointers.
+		return false
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// containsLock reports whether t (by value) embeds a sync lock type,
+// directly or through struct fields and arrays.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypeNames[obj.Name()] {
+			return true
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

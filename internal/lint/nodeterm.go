@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simPathPrefixes are the packages whose results feed recorded metrics:
+// everything they compute must be reproducible from the seed alone.
+var simPathPrefixes = []string{
+	"repro/internal/sim",
+	"repro/internal/gen",
+	"repro/internal/cluster",
+	"repro/internal/kernels",
+}
+
+// NoDeterm forbids wall-clock time and the global math/rand generator in
+// simulation paths. The emulator models time by counting work, and
+// randomness must come from the seeded splitmix generator in
+// internal/gen — time.Now, time.Since, and math/rand would make two runs
+// with the same seed disagree.
+type NoDeterm struct{}
+
+func (NoDeterm) Name() string { return "nodeterm" }
+func (NoDeterm) Doc() string {
+	return "forbid time.Now/time.Since and math/rand globals in simulation paths (sim, gen, cluster, kernels)"
+}
+
+func (a NoDeterm) Run(pass *Pass) {
+	inScope := false
+	for _, p := range simPathPrefixes {
+		if pass.ImportPath == p || strings.HasPrefix(pass.ImportPath, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pass.PkgNameOf(file, ident) {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since":
+					pass.Report(call.Pos(),
+						"wall-clock "+ident.Name+"."+sel.Sel.Name+" in a simulation path breaks run-to-run determinism",
+						"model time by counting work units, or take a timestamp parameter from the caller")
+				}
+			case "math/rand", "math/rand/v2":
+				pass.Report(call.Pos(),
+					"global math/rand."+sel.Sel.Name+" in a simulation path is not seed-reproducible",
+					"use the seeded generator in internal/gen (rng) so runs replay bit-for-bit")
+			}
+			return true
+		})
+	}
+}

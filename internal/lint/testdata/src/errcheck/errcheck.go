@@ -1,0 +1,66 @@
+// Fixture for the errcheck analyzer.
+package errcheck
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func open(path string) (*os.File, error) { return os.Open(path) }
+
+func dropsError(path string) {
+	open(path) // want "error result of open is dropped"
+}
+
+func dropsWriteError(w io.Writer) {
+	fmt.Fprintf(w, "hello\n") // want "error result of fmt.Fprintf is dropped"
+}
+
+func dropsCloseError(f *os.File) {
+	f.Close() // want "error result of f.Close is dropped"
+}
+
+func dropsInGoroutine(f *os.File) {
+	go f.Sync() // want "error result of f.Sync is dropped"
+}
+
+func okChecked(path string) error {
+	f, err := open(path)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func okExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+func okDeferredCleanup(f *os.File) {
+	defer f.Close()
+}
+
+func okStderrDiagnostics() {
+	fmt.Fprintln(os.Stderr, "best-effort diagnostics")
+}
+
+func okImplicitStdout() {
+	fmt.Println("terminal chatter")
+	fmt.Printf("%d\n", 42)
+}
+
+func okBuilders() {
+	var sb strings.Builder
+	sb.WriteString("never fails")
+	fmt.Fprintf(&sb, "formatted %d", 1)
+	var buf bytes.Buffer
+	buf.WriteByte('x')
+	fmt.Fprintln(&buf, "in memory")
+}
+
+func okNoErrorReturn() {
+	println("fine")
+}

@@ -1,0 +1,75 @@
+// Fixture for the floatacc analyzer.
+package floatacc
+
+import "sync"
+
+func racyCapturedSum(xs []float64) float64 {
+	var sum float64
+	var wg sync.WaitGroup
+	for _, x := range xs {
+		x := x
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sum += x // want "captured variable sum"
+		}()
+	}
+	wg.Wait()
+	return sum
+}
+
+func racySubtraction(xs []float64, w int) float64 {
+	var balance float64
+	for i := 0; i < w; i++ {
+		go func(i int) {
+			balance -= xs[i] // want "captured variable balance"
+		}(i)
+	}
+	return balance
+}
+
+// okShardedReduction is the canonical fix: each worker owns a shard and
+// the final reduction happens in a fixed index order.
+func okShardedReduction(xs []float64, workers int) float64 {
+	shards := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local float64
+			for i := w; i < len(xs); i += workers {
+				local += xs[i]
+			}
+			shards[w] = local
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, s := range shards {
+		sum += s
+	}
+	return sum
+}
+
+// okSerialAccumulation: no goroutine in the loop, plain serial sum.
+func okSerialAccumulation(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
+// okIntCounter: integer accumulation is a race but not a float-ordering
+// hazard; it is left to the race detector, not this rule.
+func okIntCounter(n int) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		go func() {
+			count++
+		}()
+	}
+	return count
+}

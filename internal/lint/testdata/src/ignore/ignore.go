@@ -1,0 +1,38 @@
+// Fixture for //lint:ignore directive handling. Tested with hand-coded
+// expectations in lint_test.go (not // want comments) because malformed
+// directives are reported on the directive's own line, where a trailing
+// want comment cannot be attached.
+package ignore
+
+func suppressedSameLine(n int) int {
+	if n < 0 {
+		panic("negative") //lint:ignore panicpath caller violated the documented contract
+	}
+	return n
+}
+
+func suppressedLineAbove(n int) int {
+	if n > 1<<30 {
+		//lint:ignore panicpath overflow is a programming error here
+		panic("too large")
+	}
+	return n
+}
+
+func wrongRuleNotSuppressed(n int) int {
+	if n == 0 {
+		//lint:ignore nodeterm wrong rule name, panic must still fire
+		panic("zero")
+	}
+	return n
+}
+
+func malformedMissingReason() {
+	//lint:ignore panicpath
+	panic("directive above has no reason, so both fire")
+}
+
+func wildcardSuppression() {
+	//lint:ignore * blanket suppression for this line
+	panic("wildcard suppressed")
+}

@@ -1,0 +1,89 @@
+// Fixture for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func appendsInMapOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, fmt.Sprint(k)) // want "append inside map iteration"
+	}
+	return out
+}
+
+func accumulatesFloats(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want "float accumulation inside map iteration"
+	}
+	return sum
+}
+
+func writesInMapOrder(w io.Writer, m map[int]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%d\n", k, v) // want "output call Fprintf"
+	}
+}
+
+func aggregatesFloatMap(src map[string]float64) map[int]float64 {
+	agg := make(map[int]float64)
+	for k, v := range src {
+		if prev, ok := agg[len(k)]; ok {
+			agg[len(k)] = prev + v // want "read-modify-write of a float-valued map"
+		} else {
+			agg[len(k)] = v // want "read-modify-write of a float-valued map"
+		}
+	}
+	return agg
+}
+
+func sendsInMapOrder(ch chan<- int, m map[int]bool) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func callsClosure(m map[string]int) []string {
+	var out []string
+	emit := func(s string) { out = append(out, s) }
+	for k := range m {
+		emit(k) // want "closure emit invoked inside map iteration"
+	}
+	return out
+}
+
+// okSortedKeyCollection is the canonical fix and must not be flagged.
+func okSortedKeyCollection(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []string
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%d", k, m[k]))
+	}
+	return out
+}
+
+// okIntCounting: order-insensitive accumulation is fine.
+func okIntCounting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// okSliceRange: ranging a slice is always ordered.
+func okSliceRange(s []float64) float64 {
+	var sum float64
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}

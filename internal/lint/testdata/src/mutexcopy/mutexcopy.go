@@ -1,0 +1,76 @@
+// Fixture for the mutexcopy analyzer.
+package mutexcopy
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	inner guarded
+}
+
+type waiter struct {
+	wg sync.WaitGroup
+}
+
+func byValueParam(g guarded) int { // want "parameter passes a"
+	return g.n
+}
+
+func byValueResult(g *guarded) guarded { // want "result passes a"
+	c := *g // want "assignment copies a"
+	return c
+}
+
+func assignmentCopy(g *guarded) {
+	c := *g // want "assignment copies a"
+	_ = c
+}
+
+func plainCopy(a guarded) { // want "parameter passes a"
+	b := a // want "assignment copies a"
+	_ = b
+}
+
+func nestedCopy(n nested) { // want "parameter passes a"
+	_ = n
+}
+
+func waitGroupCopy(w waiter) { // want "parameter passes a"
+	_ = w
+}
+
+func rangeValueCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want "range value copies a"
+		total += g.n
+	}
+	return total
+}
+
+func okPointerParam(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func okFreshValue() *guarded {
+	g := &guarded{}
+	return g
+}
+
+func okPointerSlice(gs []*guarded) {
+	for _, g := range gs {
+		g.mu.Lock()
+		g.mu.Unlock()
+	}
+}
+
+func okNoLock(pairs map[string]int) {
+	for k, v := range pairs {
+		_, _ = k, v
+	}
+}

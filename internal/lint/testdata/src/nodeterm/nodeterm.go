@@ -1,0 +1,29 @@
+// Fixture for the nodeterm analyzer. The test harness loads this package
+// with the import path repro/internal/sim/fixture so the path-scoped rule
+// applies. Lines tagged `// want "substr"` must produce a diagnostic
+// whose message contains substr.
+package nodeterm
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()      // want "wall-clock time.Now"
+	return time.Since(start) // want "wall-clock time.Since"
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want "math/rand.Intn"
+}
+
+func okSimulatedTime(nowNanos int64) int64 {
+	// Taking the timestamp as a parameter keeps the caller in charge.
+	return nowNanos + 100
+}
+
+func okTimeArithmetic(d time.Duration) time.Duration {
+	// Non-clock time package uses are fine.
+	return d * 2
+}

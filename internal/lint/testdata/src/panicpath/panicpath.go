@@ -1,0 +1,43 @@
+// Fixture for the panicpath analyzer. The harness loads this package with
+// an import path under repro/internal/ so the path-scoped rule applies.
+package panicpath
+
+import (
+	"errors"
+	"log"
+	"os"
+)
+
+func panics(n int) int {
+	if n < 0 {
+		panic("negative") // want "panic in library code"
+	}
+	return n * 2
+}
+
+func fatals(err error) {
+	if err != nil {
+		log.Fatalf("boom: %v", err) // want "log.Fatalf in library code"
+	}
+}
+
+func exits(code int) {
+	os.Exit(code) // want "os.Exit in library code"
+}
+
+func okReturnsError(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n * 2, nil
+}
+
+func okSuppressedInvariant(op int) int {
+	switch op {
+	case 0:
+		return 1
+	default:
+		//lint:ignore panicpath exhaustive switch over a closed enum
+		panic("unreachable op")
+	}
+}

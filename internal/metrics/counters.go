@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count, safe for concurrent
+// use. Actors in the cluster emulator bump counters from many goroutines;
+// atomics keep that race-free without a lock on the hot path.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registration name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry holds named counters. The zero value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Concurrent callers for the same name receive the same counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// CounterValue is one entry of a snapshot.
+type CounterValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns every counter's current value sorted by name, so two
+// identical runs serialize their metrics identically. The sort (rather
+// than map-iteration order) is what makes the golden test in
+// counters_test.go — and any CSV built from a snapshot — byte-stable.
+func (r *Registry) Snapshot() []CounterValue {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CounterValue, 0, len(r.counters))
+	for name, c := range r.counters {
+		out = append(out, CounterValue{Name: name, Value: c.Value()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the snapshot as "name value" lines in sorted order, for
+// logs and golden comparisons.
+func (r *Registry) String() string {
+	var sb strings.Builder
+	for _, cv := range r.Snapshot() {
+		fmt.Fprintf(&sb, "%s %d\n", cv.Name, cv.Value)
+	}
+	return sb.String()
+}

@@ -142,63 +142,81 @@ func (d *Device) CanAggregate(op kernels.AggOp) bool {
 	return false
 }
 
+// Per-device constructors return fresh copies so callers can mutate
+// their Device freely; the defaults below reference them directly, which
+// keeps the lookup infallible without a ByName round-trip.
+
+func deviceCXLCMS() Device {
+	return Device{
+		Name:                  "CXL-CMS",
+		Class:                 PNM,
+		InternalBandwidthGBps: 1100,
+		ComputeUnits:          16,
+		FP:                    Full,
+		IntMulDiv:             Full,
+		AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+		Capabilities:          "High internal memory bandwidth (~1.1 TB/s); matrix/vector computing units; FP operations",
+		Target:                "High memory bandwidth helps scale performance",
+	}
+}
+
+func deviceCXLPNM() Device {
+	return Device{
+		Name:                  "CXL-PNM",
+		Class:                 PNM,
+		InternalBandwidthGBps: 512,
+		ComputeUnits:          8,
+		FP:                    Full,
+		IntMulDiv:             Full,
+		AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+		Capabilities:          "LPDDR-based CXL memory with matrix/vector units; support for FP operations",
+		Target:                "Simple vector computations that are memory-bandwidth bound",
+	}
+}
+
+func deviceUPMEM() Device {
+	return Device{
+		Name:                  "UPMEM",
+		Class:                 PIM,
+		InternalBandwidthGBps: 1700,
+		ComputeUnits:          2560,
+		FP:                    Primitive,
+		IntMulDiv:             Primitive,
+		AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+		Capabilities:          "High aggregate memory bandwidth (~1.7 TB/s); 1000s of in-order processing units (DPUs); primitive FP support",
+		Target:                "Memory-bandwidth-bound workloads; FP support increases range of supported workloads",
+	}
+}
+
+func deviceSwitchML() Device {
+	return Device{
+		Name:         "SwitchML",
+		Class:        INC,
+		ComputeUnits: 64,
+		FP:           Primitive,
+		IntMulDiv:    None,
+		AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+		Capabilities: "Custom/configurable Tofino ASICs; integer ALUs with quantized FP",
+		Target:       "Simple filter/aggregation operations",
+	}
+}
+
+func deviceSHARP() Device {
+	return Device{
+		Name:         "SHARP",
+		Class:        INC,
+		ComputeUnits: 32,
+		FP:           Full,
+		IntMulDiv:    None,
+		AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
+		Capabilities: "SwitchIB-2 ASIC; ALUs with FP support; hierarchical MPI_AllReduce",
+		Target:       "Aggregation of partial results from multiple sources",
+	}
+}
+
 // Catalog returns the Table I device inventory.
 func Catalog() []Device {
-	return []Device{
-		{
-			Name:                  "CXL-CMS",
-			Class:                 PNM,
-			InternalBandwidthGBps: 1100,
-			ComputeUnits:          16,
-			FP:                    Full,
-			IntMulDiv:             Full,
-			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
-			Capabilities:          "High internal memory bandwidth (~1.1 TB/s); matrix/vector computing units; FP operations",
-			Target:                "High memory bandwidth helps scale performance",
-		},
-		{
-			Name:                  "CXL-PNM",
-			Class:                 PNM,
-			InternalBandwidthGBps: 512,
-			ComputeUnits:          8,
-			FP:                    Full,
-			IntMulDiv:             Full,
-			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
-			Capabilities:          "LPDDR-based CXL memory with matrix/vector units; support for FP operations",
-			Target:                "Simple vector computations that are memory-bandwidth bound",
-		},
-		{
-			Name:                  "UPMEM",
-			Class:                 PIM,
-			InternalBandwidthGBps: 1700,
-			ComputeUnits:          2560,
-			FP:                    Primitive,
-			IntMulDiv:             Primitive,
-			AggOps:                []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
-			Capabilities:          "High aggregate memory bandwidth (~1.7 TB/s); 1000s of in-order processing units (DPUs); primitive FP support",
-			Target:                "Memory-bandwidth-bound workloads; FP support increases range of supported workloads",
-		},
-		{
-			Name:         "SwitchML",
-			Class:        INC,
-			ComputeUnits: 64,
-			FP:           Primitive,
-			IntMulDiv:    None,
-			AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
-			Capabilities: "Custom/configurable Tofino ASICs; integer ALUs with quantized FP",
-			Target:       "Simple filter/aggregation operations",
-		},
-		{
-			Name:         "SHARP",
-			Class:        INC,
-			ComputeUnits: 32,
-			FP:           Full,
-			IntMulDiv:    None,
-			AggOps:       []kernels.AggOp{kernels.AggSum, kernels.AggMin, kernels.AggMax},
-			Capabilities: "SwitchIB-2 ASIC; ALUs with FP support; hierarchical MPI_AllReduce",
-			Target:       "Aggregation of partial results from multiple sources",
-		},
-	}
+	return []Device{deviceCXLCMS(), deviceCXLPNM(), deviceUPMEM(), deviceSwitchML(), deviceSHARP()}
 }
 
 // ByName finds a catalog device.
@@ -215,21 +233,13 @@ func ByName(name string) (Device, error) {
 // units unless configured otherwise (a PNM part with full FP support, so
 // every kernel offloads at native speed).
 func DefaultMemoryDevice() Device {
-	d, err := ByName("CXL-CMS")
-	if err != nil {
-		panic(err) // catalog is static; unreachable
-	}
-	return d
+	return deviceCXLCMS()
 }
 
 // DefaultSwitchDevice returns the device class used for the in-network
 // aggregation element unless configured otherwise.
 func DefaultSwitchDevice() Device {
-	d, err := ByName("SHARP")
-	if err != nil {
-		panic(err) // catalog is static; unreachable
-	}
-	return d
+	return deviceSHARP()
 }
 
 // Table renders the catalog in the layout of the paper's Table I.

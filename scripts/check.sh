@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# check.sh — the single gate every change must pass before merging.
+#
+# Order is deliberate: cheap static stages first (build, vet, ndplint),
+# then the test tiers (plain, -race), then a short fuzz budget on the
+# graph-I/O parsers. Any stage failing fails the gate.
+#
+# Usage: scripts/check.sh [fuzz-seconds]
+#   fuzz-seconds  per-target fuzz budget (default 10; 0 skips fuzzing)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_SECONDS="${1:-10}"
+case "$FUZZ_SECONDS" in
+    ''|*[!0-9]*)
+        echo "usage: scripts/check.sh [fuzz-seconds]  (got: '$FUZZ_SECONDS')" >&2
+        exit 2
+        ;;
+esac
+
+step() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+step go build ./...
+step go vet ./...
+step go run ./cmd/ndplint ./...
+step go test ./...
+step go test -race ./...
+
+if [ "$FUZZ_SECONDS" -gt 0 ]; then
+    # -fuzz matches by regex; each target needs its own run because the
+    # fuzz engine refuses a pattern matching more than one target.
+    step go test -run '^$' -fuzz '^FuzzReadEdgeList$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
+    step go test -run '^$' -fuzz '^FuzzReadBinary$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
+else
+    echo
+    echo "==> fuzzing skipped (budget 0)"
+fi
+
+echo
+echo "check.sh: all stages passed"
