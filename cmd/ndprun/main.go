@@ -9,14 +9,19 @@
 //	ndprun -dataset uk-2005 -kernel pagerank -arch disaggregated-ndp -aggregate -partitioner multilevel
 //	ndprun -dataset com-livejournal -kernel cc -arch all -csv
 //	ndprun -graph my.gcsr -kernel sssp -arch disaggregated -cache 0.25
+//	ndprun -dataset wiki-talk -kernel cc -cluster -treefanin 4 \
+//	    -fault-seed 7 -fault-drop 0.2 -fault-dup 0.1 -crash 2@1
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
+	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/graph"
@@ -48,6 +53,15 @@ func main() {
 		perIter     = flag.Bool("iters", false, "print the per-iteration ledger")
 		csv         = flag.Bool("csv", false, "emit the summary as CSV")
 		iterCSV     = flag.String("itercsv", "", "write the per-iteration ledger as CSV to this file (single -arch only)")
+
+		clusterMode = flag.Bool("cluster", false, "run on the concurrent actor cluster instead of the simulator (disaggregated-ndp only)")
+		treeFanIn   = flag.Int("treefanin", 0, "cluster: switch-tree fan-in (0 = flat single switch, >= 2 = SHARP-style tree)")
+		chanDepth   = flag.Int("chandepth", 0, "cluster: link channel depth (0 = default)")
+		faultSeed   = flag.Uint64("fault-seed", 0, "cluster: fault-injection seed")
+		faultDrop   = flag.Float64("fault-drop", 0, "cluster: per-transmission drop probability on update links")
+		faultDup    = flag.Float64("fault-dup", 0, "cluster: duplicate-delivery probability on update links")
+		faultDelay  = flag.Float64("fault-delay", 0, "cluster: delayed-delivery probability on update links")
+		crashSpec   = flag.String("crash", "", "cluster: memory-node crash schedule, e.g. 2@1,4@3 (node@iteration)")
 	)
 	flag.Parse()
 
@@ -78,6 +92,24 @@ func main() {
 	topo := sim.DefaultTopology(*computes, *partitions)
 	topo.MemDevice = dev
 	topo.SwitchBufferEntries = *swBuffer
+
+	if *clusterMode {
+		if *arch != "disaggregated-ndp" {
+			fatal(fmt.Errorf("-cluster runs the concurrent disaggregated-ndp implementation; got -arch %s", *arch))
+		}
+		plan := cluster.FaultPlan{
+			Seed:   *faultSeed,
+			Update: cluster.LinkFaults{Drop: *faultDrop, Duplicate: *faultDup, Delay: *faultDelay},
+		}
+		plan.Crash, err = parseCrashSpec(*crashSpec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runCluster(g, k, p, *computes, *partitions, *aggregate, *treeFanIn, *chanDepth, plan, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	archs := []string{*arch}
 	if *arch == "all" {
@@ -136,6 +168,83 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// parseCrashSpec parses "node@iteration" pairs: "2@1,4@3" kills memory
+// node 2 at the start of iteration 1 and node 4 at iteration 3.
+func parseCrashSpec(spec string) (map[int]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	crash := make(map[int]int)
+	for _, part := range strings.Split(spec, ",") {
+		node, iter, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("crash entry %q: want node@iteration", part)
+		}
+		n, err := strconv.Atoi(node)
+		if err != nil {
+			return nil, fmt.Errorf("crash entry %q: bad node: %v", part, err)
+		}
+		i, err := strconv.Atoi(iter)
+		if err != nil {
+			return nil, fmt.Errorf("crash entry %q: bad iteration: %v", part, err)
+		}
+		if _, dup := crash[n]; dup {
+			return nil, fmt.Errorf("crash entry %q: node %d scheduled twice", part, n)
+		}
+		crash[n] = i
+	}
+	return crash, nil
+}
+
+// runCluster executes the kernel on the concurrent actor implementation,
+// configured entirely through core's functional options, and reports the
+// measured traffic plus the fault/recovery counters.
+func runCluster(g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
+	computes, partitions int, aggregate bool, treeFanIn, chanDepth int,
+	plan cluster.FaultPlan, csv bool) error {
+	sys, err := core.New(core.DisaggregatedNDP,
+		core.WithComputeNodes(computes),
+		core.WithMemoryNodes(partitions),
+		core.WithPartitioner(p),
+		core.WithAggregation(aggregate),
+		core.WithTreeFanIn(treeFanIn),
+		core.WithChannelDepth(chanDepth),
+		core.WithFaultPlan(plan),
+	)
+	if err != nil {
+		return err
+	}
+	out, err := sys.RunConcurrent(g, k)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("%s on concurrent cluster (V=%d E=%d, %d memory nodes, %d compute nodes)",
+			k.Name(), g.NumVertices(), g.NumEdges(), partitions, computes),
+		"Iterations", "Converged", "Mem->Switch", "Switch->Compute", "Writeback", "Total moved")
+	t.AddRow(out.Iterations, out.Converged,
+		graph.FormatBytes(out.Traffic.MemToSwitch),
+		graph.FormatBytes(out.Traffic.SwitchToCompute),
+		graph.FormatBytes(out.Traffic.Writeback),
+		graph.FormatBytes(out.Traffic.Total()))
+	render := t.Render
+	if csv {
+		render = t.RenderCSV
+	}
+	if err := render(os.Stdout); err != nil {
+		return err
+	}
+	ft := metrics.NewTable("fault injection and recovery",
+		"Drops", "Duplicates", "Delays", "Retries", "Acks", "Crashes", "Redispatches", "Virtual ticks")
+	f := out.Faults
+	ft.AddRow(f.Drops, f.Duplicates, f.Delays, f.Retries, f.Acks, f.Crashes, f.Redispatches, f.VirtualTicks)
+	fr := ft.Render
+	if csv {
+		fr = ft.RenderCSV
+	}
+	return fr(os.Stdout)
 }
 
 func loadGraph(dataset, file string, scale float64, seed uint64) (*graph.Graph, error) {

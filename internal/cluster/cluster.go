@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 )
 
@@ -41,7 +42,8 @@ type Update struct {
 // UpdateBytes is the wire size of an Update.
 const UpdateBytes = kernels.UpdateBytes
 
-// Config shapes the cluster.
+// Config shapes the cluster. The zero value is valid: defaults are
+// filled by Run, and the zero FaultPlan injects nothing.
 type Config struct {
 	// ComputeNodes is the number of compute actors (vertex properties are
 	// hash-partitioned across them). Default 2.
@@ -57,6 +59,26 @@ type Config struct {
 	TreeFanIn int
 	// ChannelDepth is the buffering on every link. Default 64.
 	ChannelDepth int
+	// Fault is the seeded fault-injection schedule. The zero value
+	// injects nothing; the sequence/ack protocol runs either way.
+	Fault FaultPlan
+}
+
+// Validate rejects configurations that withDefaults would otherwise
+// paper over: negative knob values and malformed fault plans. Both the
+// cluster driver (Run) and core.New call it, so nonsense surfaces at
+// configuration time rather than as a hung or skewed run.
+func (c Config) Validate() error {
+	if c.ComputeNodes < 0 {
+		return fmt.Errorf("cluster: negative ComputeNodes %d", c.ComputeNodes)
+	}
+	if c.TreeFanIn < 0 {
+		return fmt.Errorf("cluster: negative TreeFanIn %d (use 0 for the flat topology, >= 2 for a tree)", c.TreeFanIn)
+	}
+	if c.ChannelDepth < 0 {
+		return fmt.Errorf("cluster: negative ChannelDepth %d", c.ChannelDepth)
+	}
+	return c.Fault.Validate()
 }
 
 func (c Config) withDefaults() Config {
@@ -98,43 +120,67 @@ type Outcome struct {
 	// root's delivery to the compute nodes). For the flat topology it has
 	// one entry, equal to Traffic.SwitchToCompute.
 	LevelBytes []int64
+	// Faults summarizes injected faults and recovery work. Acknowledged
+	// deliveries (Acks) are nonzero on every run; the fault and recovery
+	// counters are zero unless the Config carried a non-empty FaultPlan.
+	Faults FaultStats
+	// Counters is the run's full metrics snapshot (sorted by name), the
+	// same numbers Faults summarizes plus any future instrumentation.
+	Counters []metrics.CounterValue
 }
 
 // message types exchanged on the links.
 
-// traverseCmd tells a memory node to run one traversal phase.
-type traverseCmd struct{ iteration int }
-
-// updateBatch carries partial updates from one memory node (via the
-// switch) toward the compute nodes. src identifies the producer (memory
-// node index at the leaves, switch index further up) so a receiving
+// updateBatch carries partial updates from one partition (via the
+// switch tree) toward the compute nodes. src identifies the producer
+// (partition id at the leaves, switch index further up) so a receiving
 // switch can reduce its children in fixed src order instead of
 // channel-arrival order — float aggregation in arrival order would make
 // identical runs disagree. final marks the producer's last batch of the
 // iteration.
+//
+// seq and ack are the reliability protocol: per-link sequence numbers
+// let the receiver absorb injected duplicates idempotently (dedup before
+// any reduction), and every delivered batch is acknowledged on ack so
+// the sender can barrier on full delivery before closing its iteration.
 type updateBatch struct {
 	src     int
+	seq     int
 	updates []Update
 	final   bool
+	ack     chan<- int
 }
 
-// writebackBatch carries refreshed properties from a compute node to one
-// memory node. final marks the producer's last batch of the iteration.
+// writebackBatch carries refreshed properties from a compute node to the
+// actor currently serving one partition of the pool. recovery marks a
+// re-send of the partition's fresh state to a peer adopting it after a
+// crash; final marks the producer's last batch of the (sub)stream. seq
+// and ack work exactly as on updateBatch.
 type writebackBatch struct {
-	compute int
-	updates []Update
-	final   bool
+	compute  int
+	part     int
+	seq      int
+	updates  []Update
+	recovery bool
+	final    bool
+	ack      chan<- int
 }
 
 // Run executes the kernel on the concurrent cluster. The assignment maps
 // vertices (and so their out-edge lists) to memory nodes, exactly as in
 // the simulator.
 func Run(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	if err := kernels.CheckGraph(g, k); err != nil {
 		return nil, err
 	}
 	if err := assign.Validate(g); err != nil {
+		return nil, err
+	}
+	if err := cfg.Fault.validateCrashes(assign.K); err != nil {
 		return nil, err
 	}
 	if _, ok := k.(kernels.StatefulKernel); ok {

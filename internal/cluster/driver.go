@@ -6,14 +6,14 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
+	"repro/internal/metrics"
 	"repro/internal/partition"
 )
 
 // sortedVertices returns m's keys in ascending vertex order. Every actor
 // iterates its vertex-keyed maps through this: map iteration order is
 // randomized, and letting it leak into batch composition or float
-// aggregation order would make two runs of the same seed disagree on
-// recorded traffic and computed values.
+// aggregation order would make two runs of the same seed disagree.
 func sortedVertices(m map[graph.VertexID]float64) []graph.VertexID {
 	keys := make([]graph.VertexID, 0, len(m))
 	for v := range m {
@@ -26,13 +26,37 @@ func sortedVertices(m map[graph.VertexID]float64) []graph.VertexID {
 // batchSize bounds how many updates travel in one message.
 const batchSize = 512
 
-// ctrl messages drive the actors through bulk-synchronous iterations.
+// ctrl ops drive the actors through bulk-synchronous iterations.
 type ctrl int
 
 const (
 	ctrlIterate ctrl = iota
 	ctrlShutdown
 )
+
+// memCmd is the driver's per-iteration command to a memory-node actor.
+// adopt lists partitions re-dispatched to this actor after a peer's
+// crash; their active state arrives as recovery write-backs before the
+// traversal starts.
+type memCmd struct {
+	op    ctrl
+	iter  int
+	adopt []int
+}
+
+// reroute tells the compute nodes that a partition is now served by a
+// different actor (and that its fresh state must be re-sent there).
+type reroute struct {
+	part  int
+	actor int
+}
+
+// compCmd is the driver's per-iteration command to a compute-node actor.
+type compCmd struct {
+	op      ctrl
+	iter    int
+	reroute []reroute
+}
 
 // computeSummary is a compute node's end-of-iteration report.
 type computeSummary struct {
@@ -54,15 +78,20 @@ type switchSpec struct {
 	level int
 	// idx is the switch's index within its level, used as the src id on
 	// upward sends so the parent reduces children in a fixed order.
-	idx  int
+	idx int
+	// gid is the switch's global index across all levels, used to form
+	// stable link identities for fault injection.
+	gid  int
 	ctrl chan ctrl
 	in   chan updateBatch
 	// children is the number of final markers to await per iteration
-	// (memory nodes for leaves, child switches otherwise).
+	// (partitions for leaves, child switches otherwise).
 	children int
 	// parent is the next tree level's input; nil marks the root, which
-	// delivers to the compute nodes instead.
-	parent chan updateBatch
+	// delivers to the compute nodes instead. parentGid identifies the
+	// parent for link identities.
+	parent    chan updateBatch
+	parentGid int
 }
 
 // driver wires the actors together and coordinates iterations.
@@ -72,19 +101,30 @@ type driver struct {
 	assign *partition.Assignment
 	cfg    Config
 
-	M, C int // memory nodes, compute nodes
+	M, C int // memory nodes (= partitions), compute nodes
+	S    int // switch count across all tree levels
 
-	memCtrl  []chan ctrl
-	compCtrl []chan ctrl
+	inj *injector
+	st  *faultStats
+	reg *metrics.Registry
+
+	memCtrl  []chan memCmd
+	compCtrl []chan compCmd
 
 	// switches is the aggregation tree (flat topology = one root);
-	// memTarget[m] is memory node m's leaf-switch input.
+	// memTarget[m] is partition m's leaf-switch input, leafOf[m] that
+	// switch's gid.
 	switches  []*switchSpec
 	levels    int
 	memTarget []chan updateBatch
+	leafOf    []int
 
 	compIn []chan updateBatch // root switch -> compute nodes
-	wbCh   []chan writebackBatch
+	// wbActor[a] is the write-back input of memory-node actor a. It is
+	// indexed by actor, not partition: after a crash the adopting peer
+	// serves the dead actor's partitions on its own channel, and the
+	// compute nodes re-route via their partition->actor table.
+	wbActor []chan writebackBatch
 
 	summaryCh chan computeSummary
 	swSumCh   chan switchSummary
@@ -105,25 +145,51 @@ func (d *driver) owner(v graph.VertexID) int {
 	return int((uint64(v) * 0x9e3779b97f4a7c15 >> 32) % uint64(d.C))
 }
 
+// Stable node ids for link identities: partitions first, then switches,
+// then compute nodes. Partitions keep their id across redispatch, so a
+// fault plan targeting a link stays in force whichever actor drives it.
+func (d *driver) partNode(m int) int     { return m }
+func (d *driver) switchNode(gid int) int { return d.M + gid }
+func (d *driver) compNode(c int) int     { return d.M + d.S + c }
+
+// newLink builds the sender half of one logical link for the current
+// iteration. The ack buffer is sized so a receiver can never block on an
+// acknowledgement: outstanding unacknowledged copies are bounded by the
+// data channel depth plus the in-flight duplicate.
+func (d *driver) newLink(class LinkClass, from, to int) *link {
+	return &link{
+		id:    LinkID{Class: class, From: from, To: to},
+		inj:   d.inj,
+		st:    d.st,
+		ack:   make(chan int, 2*d.cfg.ChannelDepth+16),
+		acked: -1,
+	}
+}
+
 func newDriver(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) *driver {
+	reg := &metrics.Registry{}
 	d := &driver{
 		g: g, k: k, assign: assign, cfg: cfg,
 		M: assign.K, C: cfg.ComputeNodes,
+		inj: newInjector(cfg.Fault),
+		reg: reg,
+		st:  newFaultStats(reg),
 	}
 	depth := cfg.ChannelDepth
-	d.memCtrl = make([]chan ctrl, d.M)
-	d.wbCh = make([]chan writebackBatch, d.M)
+	d.memCtrl = make([]chan memCmd, d.M)
+	d.wbActor = make([]chan writebackBatch, d.M)
 	for m := 0; m < d.M; m++ {
-		d.memCtrl[m] = make(chan ctrl, 1)
-		d.wbCh[m] = make(chan writebackBatch, depth)
+		d.memCtrl[m] = make(chan memCmd, 1)
+		d.wbActor[m] = make(chan writebackBatch, depth)
 	}
-	d.compCtrl = make([]chan ctrl, d.C)
+	d.compCtrl = make([]chan compCmd, d.C)
 	d.compIn = make([]chan updateBatch, d.C)
 	for c := 0; c < d.C; c++ {
-		d.compCtrl[c] = make(chan ctrl, 1)
+		d.compCtrl[c] = make(chan compCmd, 1)
 		d.compIn[c] = make(chan updateBatch, depth)
 	}
 	d.buildTree(depth)
+	d.S = len(d.switches)
 	d.summaryCh = make(chan computeSummary, d.C)
 	d.swSumCh = make(chan switchSummary, len(d.switches))
 	d.memReady = make(chan int, d.M)
@@ -146,7 +212,9 @@ func (d *driver) buildTree(depth int) {
 	// Level 0: leaves fed by memory nodes.
 	count := d.M
 	level := 0
+	gid := 0
 	d.memTarget = make([]chan updateBatch, d.M)
+	d.leafOf = make([]int, d.M)
 	var prev []*switchSpec
 	for {
 		num := (count + fanIn - 1) / fanIn
@@ -158,20 +226,24 @@ func (d *driver) buildTree(depth int) {
 			cur[i] = &switchSpec{
 				level: level,
 				idx:   i,
+				gid:   gid,
 				ctrl:  make(chan ctrl, 1),
 				in:    make(chan updateBatch, depth),
 			}
+			gid++
 		}
 		if level == 0 {
 			for m := 0; m < d.M; m++ {
 				s := cur[m/fanIn]
 				d.memTarget[m] = s.in
+				d.leafOf[m] = s.gid
 				s.children++
 			}
 		} else {
 			for i, p := range prev {
 				s := cur[i/fanIn]
 				p.parent = s.in
+				p.parentGid = s.gid
 				s.children++
 			}
 		}
@@ -202,7 +274,7 @@ func (d *driver) run() (*Outcome, error) {
 		initialActive[m] = make(map[graph.VertexID]float64)
 	}
 	seed := func(v graph.VertexID) {
-		initialActive[d.assign.Part(v)][v] = initialValues[v]
+		initialActive[int(d.assign.Part(v))][v] = initialValues[v]
 	}
 	if init := k.InitialFrontier(g); init == nil {
 		for v := 0; v < n; v++ {
@@ -214,8 +286,28 @@ func (d *driver) run() (*Outcome, error) {
 		}
 	}
 
-	for m := 0; m < d.M; m++ {
-		go d.memoryNode(m, initialActive[m])
+	// Compute-side fresh mirrors: freshInit[c][m] is compute c's share
+	// of partition m's active state — what the pool holds after the
+	// latest write-back. Maintained every iteration, it is the recovery
+	// source when a memory-node actor crashes.
+	freshInit := make([]map[int]map[graph.VertexID]float64, d.C)
+	for c := range freshInit {
+		freshInit[c] = make(map[int]map[graph.VertexID]float64, d.M)
+	}
+	for m := range initialActive {
+		for _, v := range sortedVertices(initialActive[m]) {
+			c := d.owner(v)
+			nf := freshInit[c][m]
+			if nf == nil {
+				nf = make(map[graph.VertexID]float64)
+				freshInit[c][m] = nf
+			}
+			nf[v] = initialActive[m][v]
+		}
+	}
+
+	for a := 0; a < d.M; a++ {
+		go d.memoryNode(a, map[int]map[graph.VertexID]float64{a: initialActive[a]})
 	}
 	for _, s := range d.switches {
 		go d.switchActor(s)
@@ -227,21 +319,66 @@ func (d *driver) run() (*Outcome, error) {
 				owned[graph.VertexID(v)] = initialValues[graph.VertexID(v)]
 			}
 		}
-		go d.computeNode(c, owned)
+		go d.computeNode(c, owned, freshInit[c])
 	}
 
 	out := &Outcome{LevelBytes: make([]int64, d.levels)}
+	alive := make([]bool, d.M)
+	for a := range alive {
+		alive[a] = true
+	}
+	aliveCount := d.M
+	served := make([][]int, d.M)
+	for a := range served {
+		served[a] = []int{a}
+	}
+
 	frontierNonEmpty := true
 	for iter := 0; iter < tr.MaxIterations && frontierNonEmpty; iter++ {
+		// Crash schedule: actors scheduled to fail now die before doing
+		// any work this iteration. The heartbeat timeout that would
+		// reveal the failure is modeled in virtual time, so detection
+		// is immediate and deterministic: the driver re-dispatches the
+		// dead actor's partitions to the next alive peer, and the hosts
+		// re-send those partitions' write-back-fresh state to it.
+		var reroutes []reroute
+		adopts := make(map[int][]int)
+		var newlyDead []int
+		for a := 0; a < d.M; a++ {
+			if crashIter, ok := d.inj.crashIteration(a); ok && alive[a] && crashIter == iter {
+				alive[a] = false
+				newlyDead = append(newlyDead, a)
+				d.st.crashes.Inc()
+			}
+		}
+		aliveCount -= len(newlyDead)
+		for _, a := range newlyDead {
+			peer := d.nextAlive(a, alive)
+			parts := served[a]
+			served[a] = nil
+			served[peer] = append(served[peer], parts...)
+			adopts[peer] = append(adopts[peer], parts...)
+			for _, part := range parts {
+				reroutes = append(reroutes, reroute{part: part, actor: peer})
+			}
+			d.st.redispatch.Add(int64(len(parts)))
+		}
+		sort.Slice(reroutes, func(i, j int) bool { return reroutes[i].part < reroutes[j].part })
+
 		// Kick everyone off.
 		for _, s := range d.switches {
 			s.ctrl <- ctrlIterate
 		}
 		for c := 0; c < d.C; c++ {
-			d.compCtrl[c] <- ctrlIterate
+			d.compCtrl[c] <- compCmd{op: ctrlIterate, iter: iter, reroute: reroutes}
 		}
-		for m := 0; m < d.M; m++ {
-			d.memCtrl[m] <- ctrlIterate
+		for a := 0; a < d.M; a++ {
+			if !alive[a] {
+				continue
+			}
+			ad := adopts[a]
+			sort.Ints(ad)
+			d.memCtrl[a] <- memCmd{op: ctrlIterate, iter: iter, adopt: ad}
 		}
 		// Collect end-of-iteration reports. Summaries arrive in scheduler
 		// order; the float residual is reduced in compute-node order so
@@ -269,7 +406,7 @@ func (d *driver) run() (*Outcome, error) {
 			}
 			out.LevelBytes[sw.level] += sw.bytesOut
 		}
-		for i := 0; i < d.M; i++ {
+		for i := 0; i < aliveCount; i++ {
 			<-d.memReady
 		}
 		out.Iterations++
@@ -295,15 +432,18 @@ func (d *driver) run() (*Outcome, error) {
 		out.Converged = true
 	}
 
-	// Shut down and gather values.
-	for m := 0; m < d.M; m++ {
-		d.memCtrl[m] <- ctrlShutdown
+	// Shut down and gather values. Crashed actors still get the
+	// shutdown command: their goroutines sat parked on the control
+	// channel since the crash (the "dead" state is that the protocol
+	// stopped scheduling them), and this reaps them.
+	for a := 0; a < d.M; a++ {
+		d.memCtrl[a] <- memCmd{op: ctrlShutdown}
 	}
 	for _, s := range d.switches {
 		s.ctrl <- ctrlShutdown
 	}
 	for c := 0; c < d.C; c++ {
-		d.compCtrl[c] <- ctrlShutdown
+		d.compCtrl[c] <- compCmd{op: ctrlShutdown}
 	}
 	values := make([]float64, n)
 	for i := 0; i < d.C; i++ {
@@ -313,110 +453,192 @@ func (d *driver) run() (*Outcome, error) {
 		}
 	}
 	out.Values = values
+	out.Faults = d.st.summary()
+	out.Counters = d.reg.Snapshot()
 	return out, nil
 }
 
-// memoryNode is the NDP unit on memory node m: it holds the edge
-// partition for the vertices assigned to m, keeps the freshest properties
-// of its active vertices (delivered by write-backs), and runs the
-// traversal phase on command.
-func (d *driver) memoryNode(m int, active map[graph.VertexID]float64) {
+// nextAlive picks a crashed actor's successor: the first alive actor
+// scanning cyclically upward from the failed index — deterministic, so
+// identical runs re-dispatch identically.
+func (d *driver) nextAlive(from int, alive []bool) int {
+	for i := 1; i <= d.M; i++ {
+		cand := (from + i) % d.M
+		if alive[cand] {
+			return cand
+		}
+	}
+	return from // unreachable: validateCrashes guarantees a survivor
+}
+
+// memoryNode is the NDP unit of memory-node actor a: it serves a set of
+// partitions (initially just its own; more after adopting a crashed
+// peer's), keeps the freshest properties of their active vertices
+// (delivered by write-backs), and runs the traversal phase on command.
+func (d *driver) memoryNode(a int, active map[int]map[graph.VertexID]float64) {
 	g, k := d.g, d.k
-	for cmd := range d.memCtrl[m] {
-		if cmd == ctrlShutdown {
+	for cmd := range d.memCtrl[a] {
+		if cmd.op == ctrlShutdown {
 			return
 		}
+		iter := cmd.iter
+		// Per-iteration dedup state for the write-back stream: highest
+		// sequence number seen per (compute, partition) link. Links and
+		// sequence numbers are per-iteration, so this resets with them.
+		lastSeq := make(map[[2]int]int)
+		recv := func(into func(part int) map[graph.VertexID]float64, want int) {
+			for got := 0; got < want; {
+				wb := <-d.wbActor[a]
+				wb.ack <- wb.seq
+				d.st.acks.Inc()
+				key := [2]int{wb.compute, wb.part}
+				if prev, ok := lastSeq[key]; ok && wb.seq <= prev {
+					continue // injected duplicate, already absorbed
+				}
+				lastSeq[key] = wb.seq
+				m := into(wb.part)
+				for _, u := range wb.updates {
+					m[u.Vertex] = u.Value
+				}
+				if wb.final {
+					got++
+				}
+			}
+		}
+
+		// Recovery drain: partitions adopted from a crashed peer arrive
+		// with no state; every compute node re-sends its share of their
+		// write-back-fresh mirror before anything else this iteration.
+		if len(cmd.adopt) > 0 {
+			for _, part := range cmd.adopt {
+				active[part] = make(map[graph.VertexID]float64)
+			}
+			recv(func(part int) map[graph.VertexID]float64 { return active[part] }, d.C*len(cmd.adopt))
+		}
+
 		// Traversal phase: scatter along out-edges of active vertices,
 		// pre-aggregating per destination (this local reduction is what
-		// turns edge traffic into per-destination partial updates).
-		partials := make(map[graph.VertexID]float64)
-		for _, v := range sortedVertices(active) {
-			val := active[v]
-			deg := g.OutDegree(v)
-			lo, hi := g.EdgeRange(v)
-			nbrs := g.Edges()[lo:hi]
-			wts := g.Weights()
-			for i, dst := range nbrs {
-				w := float32(1)
-				if wts != nil {
-					w = wts[lo+int64(i)]
+		// turns edge traffic into per-destination partial updates). One
+		// sub-stream per served partition, in ascending partition order,
+		// each tagged with the partition id as src — so the receiving
+		// switch reduces the same child streams in the same order
+		// whichever actor produced them.
+		parts := sortedInts(active)
+		for _, part := range parts {
+			partials := make(map[graph.VertexID]float64)
+			act := active[part]
+			for _, v := range sortedVertices(act) {
+				val := act[v]
+				deg := g.OutDegree(v)
+				lo, hi := g.EdgeRange(v)
+				nbrs := g.Edges()[lo:hi]
+				wts := g.Weights()
+				for i, dst := range nbrs {
+					w := float32(1)
+					if wts != nil {
+						w = wts[lo+int64(i)]
+					}
+					u, ok := k.Scatter(kernels.EdgeContext{
+						Src: v, Dst: dst, SrcValue: val, Weight: w, SrcOutDegree: deg,
+					})
+					if !ok {
+						continue
+					}
+					if prev, seen := partials[dst]; seen {
+						partials[dst] = k.Aggregate(prev, u)
+					} else {
+						partials[dst] = u
+					}
 				}
-				u, ok := k.Scatter(kernels.EdgeContext{
-					Src: v, Dst: dst, SrcValue: val, Weight: w, SrcOutDegree: deg,
+			}
+			l := d.newLink(LinkUpdate, d.partNode(part), d.switchNode(d.leafOf[part]))
+			out := d.memTarget[part]
+			src := part
+			batch := make([]Update, 0, batchSize)
+			flush := func(final bool) {
+				b := batch
+				l.transmit(iter, final, func(seq int, ack chan<- int) {
+					out <- updateBatch{src: src, seq: seq, updates: b, final: final, ack: ack}
 				})
-				if !ok {
-					continue
-				}
-				if prev, seen := partials[dst]; seen {
-					partials[dst] = k.Aggregate(prev, u)
-				} else {
-					partials[dst] = u
+				batch = make([]Update, 0, batchSize)
+			}
+			for _, dst := range sortedVertices(partials) {
+				batch = append(batch, Update{Vertex: dst, Value: partials[dst]})
+				if len(batch) == batchSize {
+					flush(false)
 				}
 			}
+			flush(true)
+			l.barrier()
 		}
-		batch := make([]Update, 0, batchSize)
-		flush := func(final bool) {
-			d.memTarget[m] <- updateBatch{src: m, updates: batch, final: final}
-			batch = make([]Update, 0, batchSize)
-		}
-		for _, dst := range sortedVertices(partials) {
-			batch = append(batch, Update{Vertex: dst, Value: partials[dst]})
-			if len(batch) == batchSize {
-				flush(false)
-			}
-		}
-		flush(true)
 
-		// Write-back phase: refresh the active set from the hosts.
-		next := make(map[graph.VertexID]float64, len(active))
-		finals := 0
-		for finals < d.C {
-			wb := <-d.wbCh[m]
-			for _, u := range wb.updates {
-				next[u.Vertex] = u.Value
-			}
-			if wb.final {
-				finals++
-			}
+		// Write-back phase: refresh every served partition's active set
+		// from the hosts.
+		next := make(map[int]map[graph.VertexID]float64, len(parts))
+		for _, part := range parts {
+			next[part] = make(map[graph.VertexID]float64, len(active[part]))
 		}
+		recv(func(part int) map[graph.VertexID]float64 { return next[part] }, d.C*len(parts))
 		active = next
-		d.memReady <- m
+		d.memReady <- a
 	}
 }
 
 // switchActor is one in-network element of the aggregation tree. It
-// receives partial-update batches from its children (memory nodes for
-// leaves, child switches otherwise), optionally merges updates for the
-// same destination, and forwards the stream to its parent — or, at the
-// root, routes each update to the compute node owning its destination.
+// receives partial-update batches from its children (partitions for
+// leaves, child switches otherwise), acknowledges and dedups them,
+// optionally merges updates for the same destination, and forwards the
+// stream to its parent — or, at the root, routes each update to the
+// compute node owning its destination.
 //
 // Batches from different children interleave on the input channel in
 // scheduler-dependent order, so the actor stages them per child and
 // reduces in ascending child id once every child has finished. Within one
-// child the channel preserves send order, so the staged sequences — and
-// with them every float aggregation and the emitted stream — are
-// identical across runs.
+// child the channel preserves send order (retransmissions happen before
+// anything newer, duplicates are discarded by sequence number), so the
+// staged sequences — and with them every float aggregation and the
+// emitted stream — are identical across runs, faults or none.
 func (d *driver) switchActor(s *switchSpec) {
 	k := d.k
 	isRoot := s.parent == nil
+	iter := -1
 	for cmd := range s.ctrl {
 		if cmd == ctrlShutdown {
 			return
 		}
+		iter++
 		sum := switchSummary{level: s.level}
 
-		// Output paths: per-compute batches at the root, a single parent
-		// stream otherwise.
+		// Output paths: per-compute links at the root, a single parent
+		// link otherwise. Byte counts accrue per delivered copy, so the
+		// recorded traffic is wire truth (duplicates included) and
+		// still byte-identical to the fault-free run on an empty plan.
+		var rootLinks []*link
+		var upLink *link
+		if isRoot {
+			rootLinks = make([]*link, d.C)
+			for c := range rootLinks {
+				rootLinks[c] = d.newLink(LinkUpdate, d.switchNode(s.gid), d.compNode(c))
+			}
+		} else {
+			upLink = d.newLink(LinkUpdate, d.switchNode(s.gid), d.switchNode(s.parentGid))
+		}
 		outBatch := make([][]Update, d.C)
 		sendRoot := func(c int, final bool) {
-			sum.bytesOut += int64(len(outBatch[c])) * UpdateBytes
-			d.compIn[c] <- updateBatch{src: s.idx, updates: outBatch[c], final: final}
+			b := outBatch[c]
+			rootLinks[c].transmit(iter, final, func(seq int, ack chan<- int) {
+				sum.bytesOut += int64(len(b)) * UpdateBytes
+				d.compIn[c] <- updateBatch{src: s.idx, seq: seq, updates: b, final: final, ack: ack}
+			})
 			outBatch[c] = nil
 		}
 		var upBatch []Update
 		sendUp := func(final bool) {
-			sum.bytesOut += int64(len(upBatch)) * UpdateBytes
-			s.parent <- updateBatch{src: s.idx, updates: upBatch, final: final}
+			b := upBatch
+			upLink.transmit(iter, final, func(seq int, ack chan<- int) {
+				sum.bytesOut += int64(len(b)) * UpdateBytes
+				s.parent <- updateBatch{src: s.idx, seq: seq, updates: b, final: final, ack: ack}
+			})
 			upBatch = nil
 		}
 		emit := func(u Update) {
@@ -434,13 +656,20 @@ func (d *driver) switchActor(s *switchSpec) {
 			}
 		}
 
-		// Stage phase: drain every child, keeping each child's updates
-		// in its own send order.
+		// Stage phase: drain every child, acknowledging and absorbing
+		// duplicates, keeping each child's updates in its send order.
 		staged := make(map[int][]Update)
+		lastSeq := make(map[int]int)
 		finals := 0
 		for finals < s.children {
 			b := <-s.in
+			b.ack <- b.seq
+			d.st.acks.Inc()
 			sum.bytesIn += int64(len(b.updates)) * UpdateBytes
+			if prev, ok := lastSeq[b.src]; ok && b.seq <= prev {
+				continue // injected duplicate, already staged
+			}
+			lastSeq[b.src] = b.seq
 			if len(b.updates) > 0 {
 				staged[b.src] = append(staged[b.src], b.updates...)
 			}
@@ -481,8 +710,12 @@ func (d *driver) switchActor(s *switchSpec) {
 			for c := 0; c < d.C; c++ {
 				sendRoot(c, true)
 			}
+			for c := 0; c < d.C; c++ {
+				rootLinks[c].barrier()
+			}
 		} else {
 			sendUp(true)
+			upLink.barrier()
 		}
 		d.swSumCh <- sum
 	}
@@ -490,19 +723,77 @@ func (d *driver) switchActor(s *switchSpec) {
 
 // computeNode owns a hash-share of the vertex properties: it reduces the
 // incoming partial updates, runs the update phase, and writes refreshed
-// properties back to the memory node holding each vertex's edge list.
-func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
+// properties back to the actor serving each vertex's partition. It also
+// maintains fresh — its share of every partition's write-back-fresh
+// active state — which is what makes memory-node crashes recoverable:
+// on a re-dispatch it re-sends the mirror to the adopting peer.
+func (d *driver) computeNode(c int, values map[graph.VertexID]float64, fresh map[int]map[graph.VertexID]float64) {
 	g, k := d.g, d.k
 	tr := k.Traits()
+	// route[m] is the actor currently serving partition m.
+	route := make([]int, d.M)
+	for m := range route {
+		route[m] = m
+	}
 	for cmd := range d.compCtrl[c] {
-		if cmd == ctrlShutdown {
+		if cmd.op == ctrlShutdown {
 			break
 		}
-		// Reduce phase: merge switch deliveries per destination.
+		iter := cmd.iter
+		sum := computeSummary{compute: c}
+
+		// One write-back link per partition per iteration, created on
+		// first use; byte counts accrue per delivered copy.
+		wlinks := make([]*link, d.M)
+		wlink := func(part int) *link {
+			if wlinks[part] == nil {
+				wlinks[part] = d.newLink(LinkWriteback, d.compNode(c), d.partNode(part))
+			}
+			return wlinks[part]
+		}
+		sendWB := func(part int, updates []Update, recovery, final bool) {
+			b := updates
+			wlink(part).transmit(iter, final, func(seq int, ack chan<- int) {
+				sum.writebackBytes += int64(len(b)) * UpdateBytes
+				d.wbActor[route[part]] <- writebackBatch{
+					compute: c, part: part, seq: seq, updates: b,
+					recovery: recovery, final: final, ack: ack,
+				}
+			})
+		}
+
+		// Crash recovery: apply the routing updates, then re-send the
+		// write-back-fresh mirror of each re-dispatched partition to
+		// its new server (which drains it before traversing).
+		for _, rr := range cmd.reroute {
+			route[rr.part] = rr.actor
+		}
+		for _, rr := range cmd.reroute {
+			mirror := fresh[rr.part]
+			batch := make([]Update, 0, batchSize)
+			for _, v := range sortedVertices(mirror) {
+				batch = append(batch, Update{Vertex: v, Value: mirror[v]})
+				if len(batch) == batchSize {
+					sendWB(rr.part, batch, true, false)
+					batch = make([]Update, 0, batchSize)
+				}
+			}
+			sendWB(rr.part, batch, true, true)
+		}
+
+		// Reduce phase: merge root deliveries per destination,
+		// acknowledging everything and absorbing duplicates by seq.
 		agg := make(map[graph.VertexID]float64)
+		lastSeq := -1
 		finals := 0
-		for finals < 1 { // the switch sends exactly one final marker per compute node
+		for finals < 1 { // the root sends exactly one final marker per compute node
 			b := <-d.compIn[c]
+			b.ack <- b.seq
+			d.st.acks.Inc()
+			if b.seq <= lastSeq {
+				continue // injected duplicate, already reduced
+			}
+			lastSeq = b.seq
 			for _, u := range b.updates {
 				if prev, seen := agg[u.Vertex]; seen {
 					agg[u.Vertex] = k.Aggregate(prev, u.Value)
@@ -515,13 +806,20 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
 			}
 		}
 
-		// Update phase.
-		sum := computeSummary{compute: c}
+		// Update phase. The write-backs of this iteration are exactly
+		// the pool's next active state, so they rebuild the fresh
+		// mirrors as a side effect.
+		nextFresh := make(map[int]map[graph.VertexID]float64, d.M)
 		wbBatches := make([][]Update, d.M)
 		writeback := func(v graph.VertexID, val float64) {
-			m := d.assign.Part(v)
+			m := int(d.assign.Part(v))
 			wbBatches[m] = append(wbBatches[m], Update{Vertex: v, Value: val})
-			sum.writebackBytes += UpdateBytes
+			nf := nextFresh[m]
+			if nf == nil {
+				nf = make(map[graph.VertexID]float64)
+				nextFresh[m] = nf
+			}
+			nf[v] = val
 		}
 		if tr.AllVerticesActive {
 			for _, v := range sortedVertices(values) {
@@ -550,11 +848,17 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64) {
 		for m := 0; m < d.M; m++ {
 			updates := wbBatches[m]
 			for len(updates) > batchSize {
-				d.wbCh[m] <- writebackBatch{compute: c, updates: updates[:batchSize]}
+				sendWB(m, updates[:batchSize], false, false)
 				updates = updates[batchSize:]
 			}
-			d.wbCh[m] <- writebackBatch{compute: c, updates: updates, final: true}
+			sendWB(m, updates, false, true)
 		}
+		for _, l := range wlinks {
+			if l != nil {
+				l.barrier()
+			}
+		}
+		fresh = nextFresh
 		d.summaryCh <- sum
 	}
 	// Shutdown: deliver the owned value fragment.

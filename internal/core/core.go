@@ -65,6 +65,12 @@ type System struct {
 	partitioner partition.Partitioner
 	policy      sim.OffloadPolicy
 	aggregation bool
+
+	// Concurrent-cluster knobs (package cluster); they flow into one
+	// validated cluster.Config — see ClusterConfig.
+	treeFanIn    int
+	channelDepth int
+	fault        cluster.FaultPlan
 }
 
 // Option configures a System.
@@ -102,6 +108,28 @@ func WithAggregation(enabled bool) Option {
 	return func(s *System) { s.aggregation = enabled }
 }
 
+// WithTreeFanIn selects the concurrent cluster's switch topology: >= 2
+// builds a SHARP-style hierarchical aggregation tree with that fan-in,
+// 0 (the default) the flat single-switch topology. Only RunConcurrent
+// consults it; the analytical engines model the switch tier abstractly.
+func WithTreeFanIn(fanIn int) Option {
+	return func(s *System) { s.treeFanIn = fanIn }
+}
+
+// WithChannelDepth sets the buffering of every concurrent-cluster link
+// (default 64). Smaller depths exercise backpressure; correctness is
+// unaffected.
+func WithChannelDepth(depth int) Option {
+	return func(s *System) { s.channelDepth = depth }
+}
+
+// WithFaultPlan installs a seeded fault-injection schedule for
+// RunConcurrent: link drops, duplicates, delays, and memory-node crash
+// schedules, all deterministic. The zero plan injects nothing.
+func WithFaultPlan(p cluster.FaultPlan) Option {
+	return func(s *System) { s.fault = p }
+}
+
 // New builds a System for the architecture with sensible defaults: 2
 // compute nodes, 8 memory nodes, multilevel partitioning, the dynamic
 // offload heuristic, and in-network aggregation when the architecture
@@ -118,6 +146,9 @@ func New(arch Arch, opts ...Option) (*System, error) {
 		opt(s)
 	}
 	if err := s.topo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.ClusterConfig().Validate(); err != nil {
 		return nil, err
 	}
 	switch arch {
@@ -174,13 +205,30 @@ func (s *System) RunWithAssignment(g *graph.Graph, k kernels.Kernel, assign *par
 	return s.engine(assign).Run(g, k)
 }
 
+// ClusterConfig assembles the concurrent cluster's configuration from
+// the system's options — the single place where core's knobs
+// (WithComputeNodes, WithAggregation, WithTreeFanIn, WithChannelDepth,
+// WithFaultPlan) meet cluster.Config. New validates it, so a System that
+// constructs successfully always yields a runnable cluster.
+func (s *System) ClusterConfig() cluster.Config {
+	return cluster.Config{
+		ComputeNodes: s.topo.ComputeNodes,
+		Aggregate:    s.aggregation,
+		TreeFanIn:    s.treeFanIn,
+		ChannelDepth: s.channelDepth,
+		Fault:        s.fault,
+	}
+}
+
 // RunConcurrent executes the kernel on the *concurrent actor
 // implementation* of the disaggregated NDP architecture (package cluster)
 // instead of the analytical simulator: memory-node, switch, and
 // compute-node goroutines exchanging real messages. Only meaningful for
 // the DisaggregatedNDP architecture; other architectures return an error.
-// treeFanIn >= 2 selects a SHARP-style hierarchical aggregation tree.
-func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel, treeFanIn int) (*cluster.Outcome, error) {
+// The cluster's shape — tree fan-in, channel depth, fault plan — comes
+// from the System's options (WithTreeFanIn, WithChannelDepth,
+// WithFaultPlan) via ClusterConfig.
+func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel) (*cluster.Outcome, error) {
 	if s.arch != DisaggregatedNDP {
 		return nil, fmt.Errorf("core: concurrent execution models the disaggregated NDP architecture; got %s", s.arch)
 	}
@@ -188,11 +236,7 @@ func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel, treeFanIn int) 
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning: %w", err)
 	}
-	return cluster.Run(g, k, assign, cluster.Config{
-		ComputeNodes: s.topo.ComputeNodes,
-		Aggregate:    s.aggregation,
-		TreeFanIn:    treeFanIn,
-	})
+	return cluster.Run(g, k, assign, s.ClusterConfig())
 }
 
 // Compare runs the kernel on all four architectures with this system's

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/kernels"
@@ -180,7 +181,7 @@ func TestRunConcurrentMatchesSimulator(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.RunConcurrent(g, k, 0)
+	out, err := s.RunConcurrent(g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,13 +195,74 @@ func TestRunConcurrentMatchesSimulator(t *testing.T) {
 	}
 }
 
+// TestRunConcurrentOptions drives the option-configured cluster: a tree
+// fan-in and tight channel depth via options, and a seeded fault plan
+// whose injected drops and crash must not change the computed values.
+func TestRunConcurrentOptions(t *testing.T) {
+	g := coreGraph(t)
+	k := kernels.NewPageRank(5, 0.85)
+	// The reference shares the faulty system's topology: tree depth
+	// changes float association, so only the fault plan may differ.
+	base, err := New(DisaggregatedNDP, WithMemoryNodes(6), WithTreeFanIn(2), WithChannelDepth(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := base.RunConcurrent(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := New(DisaggregatedNDP, WithMemoryNodes(6),
+		WithTreeFanIn(2),
+		WithChannelDepth(8),
+		WithFaultPlan(cluster.FaultPlan{
+			Seed:   13,
+			Update: cluster.LinkFaults{Drop: 0.15, Duplicate: 0.1},
+			Crash:  map[int]int{1: 1},
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := faulty.ClusterConfig()
+	if cfg.TreeFanIn != 2 || cfg.ChannelDepth != 8 || cfg.Fault.Seed != 13 {
+		t.Fatalf("options did not reach cluster config: %+v", cfg)
+	}
+	out, err := faulty.RunConcurrent(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Values {
+		if out.Values[v] != ref.Values[v] {
+			t.Fatalf("value[%d] = %g under faults, fault-free %g", v, out.Values[v], ref.Values[v])
+		}
+	}
+	if out.Faults.Drops == 0 || out.Faults.Crashes != 1 {
+		t.Fatalf("fault plan not executed: %+v", out.Faults)
+	}
+}
+
+// TestNewValidatesClusterOptions pins that nonsense cluster knobs fail
+// at System construction, not at run time.
+func TestNewValidatesClusterOptions(t *testing.T) {
+	if _, err := New(DisaggregatedNDP, WithTreeFanIn(-1)); err == nil {
+		t.Error("accepted negative tree fan-in")
+	}
+	if _, err := New(DisaggregatedNDP, WithChannelDepth(-4)); err == nil {
+		t.Error("accepted negative channel depth")
+	}
+	bad := cluster.FaultPlan{Update: cluster.LinkFaults{Drop: 1.5}}
+	if _, err := New(DisaggregatedNDP, WithFaultPlan(bad)); err == nil {
+		t.Error("accepted fault plan with probability > 1")
+	}
+}
+
 func TestRunConcurrentRejectsOtherArchitectures(t *testing.T) {
 	g := coreGraph(t)
 	s, err := New(Distributed)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RunConcurrent(g, kernels.NewBFS(0), 0); err == nil {
+	if _, err := s.RunConcurrent(g, kernels.NewBFS(0)); err == nil {
 		t.Error("accepted concurrent execution of the distributed architecture")
 	}
 }

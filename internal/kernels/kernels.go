@@ -22,6 +22,7 @@ package kernels
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/graph"
 )
@@ -171,6 +172,12 @@ func AggregateValues(op AggOp, identity float64, values []float64) float64 {
 	return acc
 }
 
+// Names lists the canonical kernel names ByName accepts (aliases like
+// "pr" and "degree" are accepted too but not listed).
+func Names() []string {
+	return []string{"pagerank", "pagerank-delta", "ppr", "cc", "bfs", "sssp", "sswp", "indegree", "reach"}
+}
+
 // ByName constructs a kernel by name with default parameters: pagerank,
 // cc, bfs (source 0), sssp (source 0), sswp (source 0), indegree,
 // reachability (source 0).
@@ -195,7 +202,7 @@ func ByName(name string) (Kernel, error) {
 	case "reach", "reachability":
 		return NewReachability(0), nil
 	default:
-		return nil, fmt.Errorf("kernels: unknown kernel %q", name)
+		return nil, fmt.Errorf("kernels: unknown kernel %q (available: %s)", name, strings.Join(Names(), ", "))
 	}
 }
 

@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -247,6 +248,18 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("zork"); err == nil {
 		t.Error("ByName accepted unknown kernel")
+	} else {
+		// The error is self-serve: it quotes the bad name and lists every
+		// canonical name (same shape as ndp.ByName).
+		msg := err.Error()
+		if !strings.Contains(msg, `"zork"`) {
+			t.Errorf("error does not quote the unknown name: %q", msg)
+		}
+		for _, name := range Names() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("error does not list %q: %q", name, msg)
+			}
+		}
 	}
 }
 

@@ -71,6 +71,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		importPath string
 	}{
 		{"nodeterm", NoDeterm{}, "repro/internal/sim/fixture"},
+		// The fault-injection layer is the highest-stakes nodeterm scope:
+		// drops, delays, and backoff must come from the seeded plan, never
+		// the wall clock or ambient RNG.
+		{"faultclock", NoDeterm{}, "repro/internal/cluster/fault"},
 		{"maporder", MapOrder{}, ""},
 		{"errcheck", ErrCheck{}, ""},
 		{"mutexcopy", MutexCopy{}, ""},

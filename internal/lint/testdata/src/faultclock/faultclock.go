@@ -1,0 +1,41 @@
+// Fixture proving nodeterm guards the cluster fault layer. The test
+// harness loads this package with the import path
+// repro/internal/cluster/fault so the path-scoped rule applies: fault
+// injection must stay a pure function of the plan seed and the protocol
+// coordinates, so wall-clock reads and ambient RNG — the obvious ways to
+// implement drops, delays, and backoff — are exactly what the rule must
+// reject there. Lines tagged `// want "substr"` must produce a
+// diagnostic whose message contains substr.
+package faultclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badBackoff is the tempting implementation of a retry timer: sleep on
+// the wall clock. Both reads are flagged.
+func badBackoff() time.Duration {
+	deadline := time.Now()      // want "wall-clock time.Now"
+	return time.Since(deadline) // want "wall-clock time.Since"
+}
+
+// badDrop is the tempting implementation of a lossy link: an ambient
+// RNG stream whose consumption order depends on goroutine scheduling.
+func badDrop(p float64) bool {
+	return rand.Float64() < p // want "math/rand.Float64"
+}
+
+// okVirtualBackoff models the timer in virtual time: ticks accumulate on
+// a counter the caller owns, no clock involved.
+func okVirtualBackoff(vclock *int64, ticks int64) {
+	*vclock += ticks
+}
+
+// okSeededDecision derives the decision from the transmission
+// coordinates alone — the shape the real injector uses.
+func okSeededDecision(seed uint64, link, iter, seq int) bool {
+	h := seed ^ uint64(link)<<32 ^ uint64(iter)<<16 ^ uint64(seq)
+	h ^= h >> 33
+	return h&1 == 0
+}

@@ -219,6 +219,16 @@ func Catalog() []Device {
 	return []Device{deviceCXLCMS(), deviceCXLPNM(), deviceUPMEM(), deviceSwitchML(), deviceSHARP()}
 }
 
+// Names lists the catalog device names ByName accepts (matched
+// case-insensitively).
+func Names() []string {
+	names := make([]string, 0, 5)
+	for _, d := range Catalog() {
+		names = append(names, d.Name)
+	}
+	return names
+}
+
 // ByName finds a catalog device.
 func ByName(name string) (Device, error) {
 	for _, d := range Catalog() {
@@ -226,7 +236,7 @@ func ByName(name string) (Device, error) {
 			return d, nil
 		}
 	}
-	return Device{}, fmt.Errorf("ndp: unknown device %q", name)
+	return Device{}, fmt.Errorf("ndp: unknown device %q (available: %s)", name, strings.Join(Names(), ", "))
 }
 
 // DefaultMemoryDevice returns the device class used for memory-node NDP

@@ -41,6 +41,18 @@ func TestByName(t *testing.T) {
 	}
 	if _, err := ByName("tpu"); err == nil {
 		t.Error("accepted unknown device")
+	} else {
+		// The error is self-serve: it quotes the bad name and lists the
+		// catalog (same shape as kernels.ByName).
+		msg := err.Error()
+		if !strings.Contains(msg, `"tpu"`) {
+			t.Errorf("error does not quote the unknown name: %q", msg)
+		}
+		for _, name := range Names() {
+			if !strings.Contains(msg, name) {
+				t.Errorf("error does not list %q: %q", name, msg)
+			}
+		}
 	}
 }
 

@@ -29,6 +29,13 @@ step go build ./...
 step go vet ./...
 step go run ./cmd/ndplint ./...
 step go test ./...
+
+# The cluster fault tests get a dedicated -race stage at -count=2: fault
+# injection + recovery is the code most exposed to scheduling, and the
+# determinism claims must hold run over run with the race detector's
+# altered timing.
+step go test -race -count=2 -run '^TestFault' ./internal/cluster/
+
 step go test -race ./...
 
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
