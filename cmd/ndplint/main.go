@@ -6,6 +6,15 @@
 //	ndplint -json ./...               # machine-readable findings
 //	ndplint -rules maporder,errcheck  # run a subset of the rules
 //	ndplint -list                     # list rules and what they enforce
+//	ndplint -fix ./...                # apply mechanical fixes in place
+//	ndplint -fix -diff ./...          # preview those fixes as a unified diff
+//	ndplint -baseline lint-baseline.json ./...        # fail only on regressions
+//	ndplint -baseline lint-baseline.json -write-baseline ./...  # accept current findings
+//
+// Positions in JSON output are relative to the module root, so output
+// is stable across checkouts. Type-check errors in any loaded package
+// (cmd/... and examples/... included) are themselves findings, under
+// the built-in "typecheck" rule.
 //
 // Suppress a single finding with a directive on (or above) the line:
 //
@@ -17,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/lint"
@@ -27,12 +38,16 @@ func main() {
 	ruleFilter := flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	listRules := flag.Bool("list", false, "list lint rules and exit")
 	includeTests := flag.Bool("tests", false, "also lint _test.go files")
+	fix := flag.Bool("fix", false, "apply mechanical fixes for fixable findings")
+	diff := flag.Bool("diff", false, "with -fix: print unified diffs instead of rewriting files")
+	baselinePath := flag.String("baseline", "", "baseline JSON file; only findings absent from it are reported, stale entries fail")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the -baseline file from current findings and exit")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *listRules {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name(), a.Doc())
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
 		}
 		return
 	}
@@ -53,6 +68,12 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *diff && !*fix {
+		fail(fmt.Errorf("-diff only makes sense with -fix"))
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fail(fmt.Errorf("-write-baseline needs -baseline <path>"))
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -67,7 +88,61 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	diags := lint.Run(analyzers, pkgs)
+	diags := append(lint.TypeErrorDiagnostics(pkgs), lint.Run(analyzers, pkgs)...)
+	lint.SortDiagnostics(diags)
+
+	if *fix {
+		files, applied, err := lint.ApplyFixes(loader.Fset(), diags)
+		if err != nil {
+			fail(err)
+		}
+		names := make([]string, 0, len(files))
+		for name := range files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if *diff {
+				orig, err := os.ReadFile(name)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Print(lint.UnifiedDiff(relPath(loader.ModuleRoot, name), orig, files[name]))
+				continue
+			}
+			if err := os.WriteFile(name, files[name], 0o644); err != nil {
+				fail(err)
+			}
+		}
+		if !*diff {
+			// Applied findings are resolved; report what remains.
+			remaining := diags[:0]
+			for i, d := range diags {
+				if !applied[i] {
+					remaining = append(remaining, d)
+				}
+			}
+			diags = remaining
+		}
+	}
+
+	lint.Relativize(diags, loader.ModuleRoot)
+
+	if *writeBaseline {
+		if err := lint.WriteBaseline(*baselinePath, lint.BaselineFromDiagnostics(diags)); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "ndplint: wrote %d finding(s) to %s\n", len(diags), *baselinePath)
+		return
+	}
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		entries, err := lint.ReadBaseline(*baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		diags, stale = lint.FilterBaseline(diags, entries)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -86,9 +161,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ndplint: %d finding(s)\n", len(diags))
 		}
 	}
-	if len(diags) > 0 {
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "ndplint: stale baseline entry (finding no longer occurs): %s %s: %s\n", e.Rule, e.File, e.Message)
+	}
+	if len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "ndplint: the baseline only ratchets down — regenerate with -baseline %s -write-baseline\n", *baselinePath)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
 		os.Exit(1)
 	}
+}
+
+// relPath makes name relative to root for display; falls back to the
+// absolute name outside the module.
+func relPath(root, name string) string {
+	if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
 }
 
 func fail(err error) {

@@ -172,52 +172,67 @@ func AggregateValues(op AggOp, identity float64, values []float64) float64 {
 	return acc
 }
 
-// Names lists the canonical kernel names ByName accepts (aliases like
-// "pr" and "degree" are accepted too but not listed).
+// kernelEntry ties one canonical name, its accepted aliases, and the
+// default constructor together. The registry below is THE source for
+// Names, ByName, All, and the "available:" error text, so the four can
+// never drift apart; the canonical name must equal the constructed
+// kernel's Name() (enforced by TestRegistryNamesMatchKernels).
+type kernelEntry struct {
+	name    string
+	aliases []string
+	make    func() Kernel
+}
+
+// registry is sorted by canonical name. Defaults: bfs/sssp/sswp/
+// reachability/ppr start from source 0.
+func registry() []kernelEntry {
+	return []kernelEntry{
+		{"bfs", nil, func() Kernel { return NewBFS(0) }},
+		{"cc", []string{"connectedcomponents"}, func() Kernel { return NewConnectedComponents() }},
+		{"indegree", []string{"degree"}, func() Kernel { return NewInDegree() }},
+		{"pagerank", []string{"pr"}, func() Kernel { return NewPageRank(DefaultPageRankIterations, DefaultDamping) }},
+		{"pagerank-delta", []string{"prdelta"}, func() Kernel { return NewPageRankDelta(DefaultDamping, 1e-9) }},
+		{"ppr", nil, func() Kernel { return NewPersonalizedPageRank(0, DefaultPageRankIterations, DefaultDamping) }},
+		{"reach", []string{"reachability"}, func() Kernel { return NewReachability(0) }},
+		{"sssp", nil, func() Kernel { return NewSSSP(0) }},
+		{"sswp", nil, func() Kernel { return NewSSWP(0) }},
+	}
+}
+
+// Names lists the canonical kernel names ByName accepts, sorted
+// (aliases like "pr" and "degree" are accepted too but not listed).
 func Names() []string {
-	return []string{"pagerank", "pagerank-delta", "ppr", "cc", "bfs", "sssp", "sswp", "indegree", "reach"}
+	entries := registry()
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.name
+	}
+	return names
 }
 
-// ByName constructs a kernel by name with default parameters: pagerank,
-// cc, bfs (source 0), sssp (source 0), sswp (source 0), indegree,
-// reachability (source 0).
+// ByName constructs a kernel by canonical name or alias with default
+// parameters.
 func ByName(name string) (Kernel, error) {
-	switch name {
-	case "pagerank", "pr":
-		return NewPageRank(DefaultPageRankIterations, DefaultDamping), nil
-	case "pagerank-delta", "prdelta":
-		return NewPageRankDelta(DefaultDamping, 1e-9), nil
-	case "ppr":
-		return NewPersonalizedPageRank(0, DefaultPageRankIterations, DefaultDamping), nil
-	case "cc", "connectedcomponents":
-		return NewConnectedComponents(), nil
-	case "bfs":
-		return NewBFS(0), nil
-	case "sssp":
-		return NewSSSP(0), nil
-	case "sswp":
-		return NewSSWP(0), nil
-	case "indegree", "degree":
-		return NewInDegree(), nil
-	case "reach", "reachability":
-		return NewReachability(0), nil
-	default:
-		return nil, fmt.Errorf("kernels: unknown kernel %q (available: %s)", name, strings.Join(Names(), ", "))
+	for _, e := range registry() {
+		if name == e.name {
+			return e.make(), nil
+		}
+		for _, alias := range e.aliases {
+			if name == alias {
+				return e.make(), nil
+			}
+		}
 	}
+	return nil, fmt.Errorf("kernels: unknown kernel %q (available: %s)", name, strings.Join(Names(), ", "))
 }
 
-// All returns one instance of every kernel, for table-driven tests and the
-// Figure 4 sweep.
+// All returns one instance of every kernel in registry (name-sorted)
+// order, for table-driven tests and the Figure 4 sweep.
 func All() []Kernel {
-	return []Kernel{
-		NewPageRank(DefaultPageRankIterations, DefaultDamping),
-		NewPageRankDelta(DefaultDamping, 1e-9),
-		NewPersonalizedPageRank(0, DefaultPageRankIterations, DefaultDamping),
-		NewConnectedComponents(),
-		NewBFS(0),
-		NewSSSP(0),
-		NewSSWP(0),
-		NewInDegree(),
-		NewReachability(0),
+	entries := registry()
+	kernels := make([]Kernel, len(entries))
+	for i, e := range entries {
+		kernels[i] = e.make()
 	}
+	return kernels
 }

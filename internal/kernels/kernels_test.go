@@ -2,6 +2,7 @@ package kernels
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -468,5 +469,65 @@ func TestBFSUnreachableStaysInf(t *testing.T) {
 	}
 	if !math.IsInf(res.Values[2], 1) || !math.IsInf(res.Values[3], 1) {
 		t.Errorf("unreachable vertices got levels: %v", res.Values)
+	}
+}
+
+// TestRegistryNamesMatchKernels pins the single-source property of the
+// registry: Names is sorted and duplicate-free, All parallels it, every
+// canonical name constructs a kernel reporting exactly that name,
+// aliases resolve to their canonical kernel, and the unknown-name error
+// advertises precisely the Names list.
+func TestRegistryNamesMatchKernels(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate canonical name %q", n)
+		}
+		seen[n] = true
+	}
+	all := All()
+	if len(all) != len(names) {
+		t.Fatalf("All() has %d kernels, Names() has %d", len(all), len(names))
+	}
+	for i, k := range all {
+		if k.Name() != names[i] {
+			t.Errorf("All()[%d].Name() = %q, want %q", i, k.Name(), names[i])
+		}
+	}
+	for _, n := range names {
+		k, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+			continue
+		}
+		if k.Name() != n {
+			t.Errorf("ByName(%q) built kernel named %q", n, k.Name())
+		}
+	}
+	for _, e := range registry() {
+		for _, alias := range e.aliases {
+			if seen[alias] {
+				t.Errorf("alias %q collides with a canonical name", alias)
+			}
+			k, err := ByName(alias)
+			if err != nil {
+				t.Errorf("ByName(alias %q): %v", alias, err)
+				continue
+			}
+			if k.Name() != e.name {
+				t.Errorf("alias %q resolved to %q, want %q", alias, k.Name(), e.name)
+			}
+		}
+	}
+	_, err := ByName("definitely-not-a-kernel")
+	if err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if want := strings.Join(names, ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not advertise the registry list %q", err, want)
 	}
 }

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"os"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted pre-existing finding. Line and
+// column are deliberately absent: unrelated edits move findings around a
+// file, and a baseline that churns on every edit gets regenerated
+// blindly instead of read. Rule + relative file + exact message is
+// stable and still specific.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// BaselineFromDiagnostics converts current findings (already
+// Relativize'd) into sorted baseline entries, duplicates preserved.
+func BaselineFromDiagnostics(diags []Diagnostic) []BaselineEntry {
+	entries := make([]BaselineEntry, 0, len(diags))
+	for _, d := range diags {
+		entries = append(entries, BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Message: d.Message})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	return entries
+}
+
+// ReadBaseline loads a baseline file written by WriteBaseline.
+func ReadBaseline(path string) ([]BaselineEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// WriteBaseline writes entries as indented JSON, one stable shape the
+// shrink-only check gate can diff.
+func WriteBaseline(path string, entries []BaselineEntry) error {
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// FilterBaseline splits diags into fresh findings (not covered by the
+// baseline — these fail the gate) and reports stale entries (baselined
+// findings that no longer occur — the baseline must shrink). Matching is
+// multiset: two identical findings need two identical entries.
+func FilterBaseline(diags []Diagnostic, entries []BaselineEntry) (fresh []Diagnostic, stale []BaselineEntry) {
+	budget := make(map[BaselineEntry]int, len(entries))
+	for _, e := range entries {
+		budget[e]++
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Message: d.Message}
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range entries {
+		if budget[e] > 0 {
+			budget[e]--
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// TypeErrorDiagnostics converts the loader's soft type-check failures
+// into findings under the built-in "typecheck" rule. Without this, a
+// package that stops compiling (a cmd/ or examples/ target not covered
+// by the analyzers' scopes, say) would slide through the lint gate with
+// every analyzer silently degraded to syntax.
+func TypeErrorDiagnostics(pkgs []*Package) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, err := range pkg.TypeErrors {
+			d := Diagnostic{
+				Rule:         "typecheck",
+				Message:      err.Error(),
+				SuggestedFix: "make the package compile; analyzers cannot vouch for code they cannot type-check",
+			}
+			if te, ok := err.(types.Error); ok {
+				d.Position = te.Fset.Position(te.Pos)
+				d.Message = te.Msg
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, rule — the
+// output contract shared by Run, the JSON mode, and the golden test.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Rule < b.Rule
+	})
+}

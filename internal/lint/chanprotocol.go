@@ -1,0 +1,749 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// ChanProtocol checks that every channel created in the cluster layer
+// has a matched communication protocol. The fault-injection retry loops
+// make three deadlock shapes easy to create and hard to spot in review:
+//
+//   - a send on a channel no goroutine ever receives from (the send
+//     blocks forever once the buffer fills — the crash-path bug class);
+//   - a close on a path where the channel may already be closed (panics);
+//   - a send on a path after a close (panics).
+//
+// The analyzer resolves channels module-wide into alias classes with a
+// union-find over variables, struct fields, call parameters/results, and
+// function-literal parameters — so the ack channel created in newLink,
+// shipped inside an updateBatch, and drained through l.ack all count as
+// one channel. Receiver-less sends are judged per class against every
+// package in the module; double-close and send-after-close are judged
+// per path on the function's CFG (may-analysis: a close inside a retry
+// loop reaches itself around the back edge).
+//
+// Channels that escape into non-module code are skipped: the analyzer
+// cannot see those receivers, and a false deadlock report is worse than
+// a missed one.
+type ChanProtocol struct{}
+
+func (ChanProtocol) Name() string { return "chanprotocol" }
+func (ChanProtocol) Doc() string {
+	return "flag cluster channels with receiver-less sends, double-close paths, or send-after-close paths (module-wide alias analysis)"
+}
+
+// chanScope limits reporting (not collection: receives anywhere in the
+// module count) to the cluster layer, where the actor protocol lives.
+func chanScope(importPath string) bool {
+	return strings.Contains(importPath, "internal/cluster")
+}
+
+func (a ChanProtocol) Run(pass *Pass) {
+	if !chanScope(pass.ImportPath) || pass.Mod == nil {
+		return
+	}
+	res := chanAnalysis(pass.Mod)
+	for _, f := range res.findings {
+		if f.pkg != pass.ImportPath {
+			continue
+		}
+		pass.Report(f.pos, f.message, f.fix)
+	}
+}
+
+// chanFinding is one deferred report, attributed to the package it
+// belongs to so the owning pass emits it (and its ignore directives
+// apply).
+type chanFinding struct {
+	pkg     string
+	pos     token.Pos
+	message string
+	fix     string
+}
+
+// chanResult is the memoized module-wide analysis.
+type chanResult struct {
+	findings []chanFinding
+}
+
+func chanAnalysis(mod *Module) *chanResult {
+	return mod.Memoize("chanprotocol.analysis", func() any {
+		c := newChanCollector(mod)
+		for _, pkg := range mod.Pkgs {
+			for _, file := range pkg.Files {
+				c.collectFile(pkg, file)
+			}
+		}
+		res := &chanResult{}
+		res.findings = append(res.findings, c.receiverlessSends()...)
+		for _, pkg := range mod.Pkgs {
+			if !chanScope(pkg.ImportPath) {
+				continue
+			}
+			for _, file := range pkg.Files {
+				if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+					continue
+				}
+				res.findings = append(res.findings, c.closePaths(pkg, file)...)
+			}
+		}
+		sort.Slice(res.findings, func(i, j int) bool {
+			if res.findings[i].pos != res.findings[j].pos {
+				return res.findings[i].pos < res.findings[j].pos
+			}
+			return res.findings[i].message < res.findings[j].message
+		})
+		return res
+	}).(*chanResult)
+}
+
+// paramSlot identifies parameter i of a function-typed variable: calls
+// through the variable unify their arguments here, and function literals
+// flowing into the variable unify their parameters here — which is how
+// the ack channel passed through an emit callback stays one class.
+type paramSlot struct {
+	fn  types.Object
+	idx int
+}
+
+// chanOp is one communication site.
+type chanOp struct {
+	pos token.Pos
+	pkg string
+}
+
+// chanClass aggregates the operations of one alias class.
+type chanClass struct {
+	makes, sends, recvs, closes []chanOp
+	escaped                     bool
+}
+
+type chanCollector struct {
+	mod *Module
+	// modulePaths marks import paths whose bodies the analysis sees.
+	modulePaths map[string]bool
+	parent      map[any]any
+	classes     map[any]*chanClass
+}
+
+func newChanCollector(mod *Module) *chanCollector {
+	c := &chanCollector{
+		mod:         mod,
+		modulePaths: make(map[string]bool, len(mod.Pkgs)),
+		parent:      make(map[any]any),
+		classes:     make(map[any]*chanClass),
+	}
+	for _, p := range mod.Pkgs {
+		c.modulePaths[p.ImportPath] = true
+	}
+	return c
+}
+
+func (c *chanCollector) find(k any) any {
+	for {
+		p, ok := c.parent[k]
+		if !ok || p == k {
+			return k
+		}
+		gp, ok := c.parent[p]
+		if ok {
+			c.parent[k] = gp // path halving
+		}
+		k = p
+	}
+}
+
+func (c *chanCollector) union(a, b any) {
+	if a == nil || b == nil {
+		return
+	}
+	ra, rb := c.find(a), c.find(b)
+	if ra == rb {
+		return
+	}
+	c.parent[ra] = rb
+	// Merge any ops already recorded under the absorbed root.
+	if ca := c.classes[ra]; ca != nil {
+		cb := c.class(rb)
+		cb.makes = append(cb.makes, ca.makes...)
+		cb.sends = append(cb.sends, ca.sends...)
+		cb.recvs = append(cb.recvs, ca.recvs...)
+		cb.closes = append(cb.closes, ca.closes...)
+		cb.escaped = cb.escaped || ca.escaped
+		delete(c.classes, ra)
+	}
+}
+
+func (c *chanCollector) class(k any) *chanClass {
+	r := c.find(k)
+	cl := c.classes[r]
+	if cl == nil {
+		cl = &chanClass{}
+		c.classes[r] = cl
+	}
+	return cl
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// slot resolves an expression to its alias-class key, or nil when the
+// expression carries no trackable channel identity. make calls key on
+// their own AST node, so the creation site unifies into whatever the
+// value flows to.
+func (c *chanCollector) slot(info *types.Info, e ast.Expr) any {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" || info == nil {
+			return nil
+		}
+		if obj := info.ObjectOf(e); obj != nil {
+			return obj
+		}
+	case *ast.SelectorExpr:
+		if info != nil {
+			if obj := info.ObjectOf(e.Sel); obj != nil {
+				return obj
+			}
+		}
+		return c.slot(info, e.X)
+	case *ast.IndexExpr:
+		return c.slot(info, e.X)
+	case *ast.StarExpr:
+		return c.slot(info, e.X)
+	case *ast.ParenExpr:
+		return c.slot(info, e.X)
+	case *ast.CallExpr:
+		if c.isMake(info, e) {
+			return e
+		}
+		if fn := flow.CalleeOf(info, e); fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 &&
+				isChanType(sig.Results().At(0).Type()) && c.moduleFunc(fn) {
+				return sig.Results().At(0)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *chanCollector) isMake(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" || info == nil {
+		return false
+	}
+	if obj := info.ObjectOf(id); obj != nil && obj.Pkg() == nil {
+		return isChanType(info.TypeOf(call))
+	}
+	return false
+}
+
+func (c *chanCollector) moduleFunc(fn *types.Func) bool {
+	return fn.Pkg() != nil && c.modulePaths[fn.Pkg().Path()]
+}
+
+func (c *chanCollector) exprType(info *types.Info, e ast.Expr) types.Type {
+	if info == nil {
+		return nil
+	}
+	return info.TypeOf(e)
+}
+
+// collectFile records ops and alias unifications for one file.
+func (c *chanCollector) collectFile(pkg *Package, file *ast.File) {
+	info := pkg.Info
+	path := pkg.ImportPath
+	if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+		return
+	}
+
+	// sigStack tracks the enclosing function signature for returns.
+	var sigStack []*types.Signature
+	pushSig := func(s *types.Signature) { sigStack = append(sigStack, s) }
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if info == nil {
+				return true
+			}
+			if fn, ok := info.ObjectOf(n.Name).(*types.Func); ok {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					pushSig(sig)
+					if n.Body != nil {
+						ast.Inspect(n.Body, walk)
+					}
+					sigStack = sigStack[:len(sigStack)-1]
+					return false
+				}
+			}
+			return true
+		case *ast.FuncLit:
+			if sig, ok := c.exprType(info, n).(*types.Signature); ok {
+				pushSig(sig)
+				ast.Inspect(n.Body, walk)
+				sigStack = sigStack[:len(sigStack)-1]
+				return false
+			}
+			return true
+		case *ast.AssignStmt:
+			c.collectAssign(info, path, n)
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) && isChanType(c.exprType(info, n.Values[i])) {
+					c.flowInto(info, path, c.slot(info, name), n.Values[i])
+				}
+				if i < len(n.Values) {
+					c.bindFuncValue(info, c.slot(info, name), n.Values[i])
+				}
+			}
+		case *ast.CompositeLit:
+			c.collectComposite(info, path, n)
+		case *ast.CallExpr:
+			c.collectCall(info, path, n)
+		case *ast.ReturnStmt:
+			if len(sigStack) > 0 {
+				sig := sigStack[len(sigStack)-1]
+				for i, e := range n.Results {
+					if i < sig.Results().Len() && isChanType(sig.Results().At(i).Type()) {
+						c.flowInto(info, path, sig.Results().At(i), e)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if s := c.slot(info, n.Chan); s != nil {
+				c.recordMakeIfAny(info, path, n.Chan)
+				c.class(s).sends = append(c.class(s).sends, chanOp{pos: n.Arrow, pkg: path})
+			}
+			// A raw channel sent as a value over another channel: its
+			// receivers are whoever drains the outer channel, which this
+			// slot model does not track — treat it as escaped. (Channels
+			// carried inside struct batches stay tracked via their field
+			// objects.)
+			if isChanType(c.exprType(info, n.Value)) {
+				if vs := c.slot(info, n.Value); vs != nil {
+					c.class(vs).escaped = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if s := c.slot(info, n.X); s != nil {
+					c.recordMakeIfAny(info, path, n.X)
+					c.class(s).recvs = append(c.class(s).recvs, chanOp{pos: n.OpPos, pkg: path})
+				}
+			}
+		case *ast.RangeStmt:
+			if isChanType(c.exprType(info, n.X)) {
+				if s := c.slot(info, n.X); s != nil {
+					c.class(s).recvs = append(c.class(s).recvs, chanOp{pos: n.For, pkg: path})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(file, walk)
+}
+
+// flowInto unifies dst with the slot of src, recording a make site when
+// src creates the channel.
+func (c *chanCollector) flowInto(info *types.Info, path string, dst any, src ast.Expr) {
+	if dst == nil {
+		return
+	}
+	s := c.slot(info, src)
+	if s == nil {
+		return
+	}
+	if call, ok := s.(*ast.CallExpr); ok && c.isMake(info, call) {
+		c.class(call).makes = append(c.class(call).makes, chanOp{pos: call.Pos(), pkg: path})
+	}
+	c.union(dst, s)
+}
+
+// recordMakeIfAny exists for expressions used directly (sent on, closed)
+// whose slot is a make call node.
+func (c *chanCollector) recordMakeIfAny(info *types.Info, path string, e ast.Expr) {
+	if call, ok := c.slot(info, e).(*ast.CallExpr); ok && c.isMake(info, call) {
+		cl := c.class(call)
+		if len(cl.makes) == 0 {
+			cl.makes = append(cl.makes, chanOp{pos: call.Pos(), pkg: path})
+		}
+	}
+}
+
+func (c *chanCollector) collectAssign(info *types.Info, path string, as *ast.AssignStmt) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i := range as.Lhs {
+			if isChanType(c.exprType(info, as.Rhs[i])) || isChanType(c.exprType(info, as.Lhs[i])) {
+				c.flowInto(info, path, c.slot(info, as.Lhs[i]), as.Rhs[i])
+			}
+			c.bindFuncValue(info, c.slot(info, as.Lhs[i]), as.Rhs[i])
+		}
+		return
+	}
+	// Tuple assignment from a call: unify channel-typed results.
+	if len(as.Rhs) == 1 {
+		if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+			if fn := flow.CalleeOf(info, call); fn != nil && c.moduleFunc(fn) {
+				if sig, ok := fn.Type().(*types.Signature); ok {
+					for i := range as.Lhs {
+						if i < sig.Results().Len() && isChanType(sig.Results().At(i).Type()) {
+							c.union(c.slot(info, as.Lhs[i]), sig.Results().At(i))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// bindFuncValue unifies a function literal's parameters with the param
+// slots of the function-typed variable it is assigned to.
+func (c *chanCollector) bindFuncValue(info *types.Info, dst any, src ast.Expr) {
+	lit, ok := ast.Unparen(src).(*ast.FuncLit)
+	if !ok || dst == nil {
+		return
+	}
+	obj, ok := dst.(types.Object)
+	if !ok {
+		return
+	}
+	sig, ok := c.exprType(info, lit).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isChanType(sig.Params().At(i).Type()) {
+			c.union(paramSlot{fn: obj, idx: i}, sig.Params().At(i))
+		}
+	}
+}
+
+func (c *chanCollector) collectComposite(info *types.Info, path string, lit *ast.CompositeLit) {
+	t := c.exprType(info, lit)
+	if t == nil {
+		return
+	}
+	u := t.Underlying()
+	if p, ok := u.(*types.Pointer); ok {
+		u = p.Elem().Underlying()
+	}
+	switch u := u.(type) {
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok || info == nil {
+					continue
+				}
+				fieldObj := info.ObjectOf(key)
+				if fieldObj == nil {
+					continue
+				}
+				if isChanType(fieldObj.Type()) {
+					c.flowInto(info, path, fieldObj, kv.Value)
+				}
+				c.bindFuncValue(info, fieldObj, kv.Value)
+				continue
+			}
+			if i < u.NumFields() && isChanType(u.Field(i).Type()) {
+				c.flowInto(info, path, u.Field(i), elt)
+			}
+		}
+	case *types.Map, *types.Slice, *types.Array:
+		// Containers of channels: the lit node is the container slot.
+		for _, elt := range lit.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if isChanType(c.exprType(info, v)) {
+				c.flowInto(info, path, lit, v)
+			}
+		}
+	}
+}
+
+func (c *chanCollector) collectCall(info *types.Info, path string, call *ast.CallExpr) {
+	// close(ch) is the close op.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && info != nil {
+		if obj := info.ObjectOf(id); obj != nil && obj.Pkg() == nil && len(call.Args) == 1 {
+			if s := c.slot(info, call.Args[0]); s != nil {
+				c.recordMakeIfAny(info, path, call.Args[0])
+				c.class(s).closes = append(c.class(s).closes, chanOp{pos: call.Pos(), pkg: path})
+			}
+			return
+		}
+	}
+	if c.isMake(info, call) {
+		return
+	}
+	fn := flow.CalleeOf(info, call)
+	if fn != nil {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		inModule := c.moduleFunc(fn)
+		// Interface dispatch: the concrete receiver's method params are
+		// not unified with the interface method's, so the channel's
+		// consumers are invisible from here.
+		if sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+			inModule = false
+		}
+		for i, arg := range call.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi < 0 || pi >= sig.Params().Len() {
+				continue
+			}
+			param := sig.Params().At(pi)
+			if isChanType(c.exprType(info, arg)) {
+				if inModule {
+					c.flowInto(info, path, param, arg)
+				} else if s := c.slot(info, arg); s != nil {
+					// The channel escapes into code the analysis cannot
+					// see; its receivers are unknowable.
+					c.recordMakeIfAny(info, path, arg)
+					c.class(s).escaped = true
+				}
+			}
+			if inModule {
+				c.bindFuncValue(info, param, arg)
+			}
+		}
+		return
+	}
+	// Call through a function value: unify arguments with the param
+	// slots function literals bound into that value.
+	var funObj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if info != nil {
+			funObj = info.ObjectOf(fun)
+		}
+	case *ast.SelectorExpr:
+		if info != nil {
+			funObj = info.ObjectOf(fun.Sel)
+		}
+	}
+	if v, ok := funObj.(*types.Var); ok {
+		for i, arg := range call.Args {
+			if isChanType(c.exprType(info, arg)) {
+				if s := c.slot(info, arg); s != nil {
+					c.recordMakeIfAny(info, path, arg)
+					c.union(s, paramSlot{fn: v, idx: i})
+					// The callee is a function value; unless every
+					// binding is a module function literal (which the
+					// paramSlot unification would then see), the
+					// channel's consumers are unknowable. Stay
+					// conservative: never report this class.
+					c.class(s).escaped = true
+				}
+			}
+		}
+	}
+}
+
+// receiverlessSends reports classes with a creation site and sends but
+// no receive anywhere in the module.
+func (c *chanCollector) receiverlessSends() []chanFinding {
+	var out []chanFinding
+	roots := make([]any, 0, len(c.classes))
+	for r := range c.classes {
+		roots = append(roots, r)
+	}
+	// Determinism: order classes by their first make/send position.
+	sort.Slice(roots, func(i, j int) bool { return classKeyPos(c.classes[roots[i]]) < classKeyPos(c.classes[roots[j]]) })
+	for _, r := range roots {
+		cl := c.classes[r]
+		if cl.escaped || len(cl.makes) == 0 || len(cl.sends) == 0 || len(cl.recvs) > 0 {
+			continue
+		}
+		sort.Slice(cl.sends, func(i, j int) bool { return cl.sends[i].pos < cl.sends[j].pos })
+		for _, mk := range cl.makes {
+			if !chanScope(mk.pkg) {
+				continue
+			}
+			out = append(out, chanFinding{
+				pkg: mk.pkg,
+				pos: mk.pos,
+				message: fmt.Sprintf("channel is sent to (%d site(s)) but never received from anywhere in the module: the send blocks forever once the buffer fills",
+					len(cl.sends)),
+				fix: "add the receiving side (or delete the channel); if the receiver lives outside this module, route the channel through an exported API the analyzer can see",
+			})
+		}
+	}
+	return out
+}
+
+func classKeyPos(cl *chanClass) token.Pos {
+	best := token.Pos(1 << 30)
+	for _, op := range cl.makes {
+		if op.pos < best {
+			best = op.pos
+		}
+	}
+	for _, op := range cl.sends {
+		if op.pos < best {
+			best = op.pos
+		}
+	}
+	return best
+}
+
+// closePaths runs the per-function CFG may-analysis: double-close and
+// send-after-close along any path, including around loop back edges.
+func (c *chanCollector) closePaths(pkg *Package, file *ast.File) []chanFinding {
+	var out []chanFinding
+	info := pkg.Info
+	ast.Inspect(file, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		out = append(out, c.closePathsInBody(pkg.ImportPath, info, body)...)
+		return true
+	})
+	return out
+}
+
+// closeEvent is a close or send site on a resolved class root, in the
+// order it executes within one CFG node.
+type closeEvent struct {
+	root    any
+	isClose bool
+	pos     token.Pos
+	name    string
+}
+
+func (c *chanCollector) closePathsInBody(path string, info *types.Info, body *ast.BlockStmt) []chanFinding {
+	cfg := flow.Build(body)
+	// Pre-extract events per block; nested function literals have their
+	// own CFGs, so stop at them.
+	events := make(map[*flow.Block][][]closeEvent)
+	for _, blk := range cfg.Blocks {
+		evs := make([][]closeEvent, len(blk.Nodes))
+		for i, node := range blk.Nodes {
+			evs[i] = c.eventsIn(info, node)
+		}
+		events[blk] = evs
+	}
+	// Fixpoint: may-closed roots flowing into each block.
+	in := make(map[*flow.Block]map[any]bool, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		in[blk] = make(map[any]bool)
+	}
+	work := append([]*flow.Block(nil), cfg.Blocks...)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := make(map[any]bool, len(in[blk]))
+		for r := range in[blk] {
+			out[r] = true
+		}
+		for _, evs := range events[blk] {
+			for _, ev := range evs {
+				if ev.isClose {
+					out[ev.root] = true
+				}
+			}
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			for r := range out {
+				if !in[succ][r] {
+					in[succ][r] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	// Report sweep with the fixed-point state.
+	var out []chanFinding
+	for _, blk := range cfg.Blocks {
+		closed := make(map[any]bool, len(in[blk]))
+		for r := range in[blk] {
+			closed[r] = true
+		}
+		for _, evs := range events[blk] {
+			for _, ev := range evs {
+				if ev.isClose {
+					if closed[ev.root] {
+						out = append(out, chanFinding{
+							pkg: path, pos: ev.pos,
+							message: "channel " + ev.name + " may already be closed on a path reaching this close (close of closed channel panics)",
+							fix:     "close exactly once from the single owner; guard retry paths so they cannot re-close",
+						})
+					}
+					closed[ev.root] = true
+				} else if closed[ev.root] {
+					out = append(out, chanFinding{
+						pkg: path, pos: ev.pos,
+						message: "send on channel " + ev.name + " on a path after it may have been closed (send on closed channel panics)",
+						fix:     "order the protocol so every send happens before the owner closes, or route the value elsewhere after shutdown",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// eventsIn extracts close/send events from one CFG node in source
+// order, not descending into nested function literals.
+func (c *chanCollector) eventsIn(info *types.Info, node ast.Node) []closeEvent {
+	var evs []closeEvent
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && info != nil && len(n.Args) == 1 {
+				if obj := info.ObjectOf(id); obj != nil && obj.Pkg() == nil {
+					if s := c.slot(info, n.Args[0]); s != nil {
+						evs = append(evs, closeEvent{
+							root: c.find(s), isClose: true, pos: n.Pos(),
+							name: types.ExprString(n.Args[0]),
+						})
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if s := c.slot(info, n.Chan); s != nil {
+				evs = append(evs, closeEvent{
+					root: c.find(s), pos: n.Arrow,
+					name: types.ExprString(n.Chan),
+				})
+			}
+		}
+		return true
+	})
+	return evs
+}

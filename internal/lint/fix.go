@@ -1,0 +1,180 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// span is one edit resolved to byte offsets within a named file.
+type span struct {
+	file       string
+	start, end int
+	new        string
+}
+
+// ApplyFixes resolves every fixable diagnostic's edits into rewritten,
+// gofmt-formatted file contents. It returns the new contents keyed by
+// filename and, parallel to diags, which diagnostics were applied.
+//
+// A diagnostic is applied atomically: if any of its edits overlaps an
+// edit already accepted from an earlier (position-sorted) diagnostic,
+// the whole diagnostic is skipped and left for the next run — -fix is
+// convergent, not clever.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic) (map[string][]byte, []bool, error) {
+	applied := make([]bool, len(diags))
+
+	// Resolve edits to offsets, grouped per diagnostic.
+	type candidate struct {
+		diag  int
+		spans []span
+	}
+	var cands []candidate
+	for i, d := range diags {
+		if !d.Fixable || len(d.Edits) == 0 {
+			continue
+		}
+		c := candidate{diag: i}
+		ok := true
+		for _, e := range d.Edits {
+			tf := fset.File(e.Pos)
+			if tf == nil || e.End < e.Pos || fset.File(e.End) != tf {
+				ok = false
+				break
+			}
+			c.spans = append(c.spans, span{
+				file:  tf.Name(),
+				start: tf.Offset(e.Pos),
+				end:   tf.Offset(e.End),
+				new:   e.New,
+			})
+		}
+		if ok {
+			cands = append(cands, c)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		a, b := cands[i].spans[0], cands[j].spans[0]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		return a.start < b.start
+	})
+
+	// Accept non-overlapping diagnostics, first by position wins.
+	accepted := make(map[string][]span)
+	overlaps := func(s span) bool {
+		for _, t := range accepted[s.file] {
+			if s.start < t.end && t.start < s.end {
+				return true
+			}
+			// Two insertions at the same point would be order-ambiguous.
+			if s.start == s.end && t.start == t.end && s.start == t.start {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range cands {
+		clash := false
+		for _, s := range c.spans {
+			if overlaps(s) {
+				clash = true
+				break
+			}
+		}
+		if clash {
+			continue
+		}
+		for _, s := range c.spans {
+			accepted[s.file] = append(accepted[s.file], s)
+		}
+		applied[c.diag] = true
+	}
+
+	// Rewrite each touched file and gofmt the result.
+	out := make(map[string][]byte, len(accepted))
+	files := make([]string, 0, len(accepted))
+	for f := range accepted {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			return nil, nil, err
+		}
+		spans := accepted[f]
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start > spans[j].start })
+		buf := src
+		for _, s := range spans {
+			if s.end > len(buf) {
+				return nil, nil, fmt.Errorf("lint: edit range %d:%d beyond %s (%d bytes)", s.start, s.end, f, len(buf))
+			}
+			buf = append(buf[:s.start:s.start], append([]byte(s.new), buf[s.end:]...)...)
+		}
+		formatted, err := format.Source(buf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("lint: fixed %s does not parse: %w", f, err)
+		}
+		out[f] = formatted
+	}
+	return out, applied, nil
+}
+
+// UnifiedDiff renders a single-hunk unified diff between a and b,
+// labeled with path. The hunk spans the changed middle after trimming
+// the common prefix and suffix — minimal enough for previews and for
+// the check gate's "must be empty" test. Returns "" when a equals b.
+func UnifiedDiff(path string, a, b []byte) string {
+	if string(a) == string(b) {
+		return ""
+	}
+	al := splitLines(string(a))
+	bl := splitLines(string(b))
+	pre := 0
+	for pre < len(al) && pre < len(bl) && al[pre] == bl[pre] {
+		pre++
+	}
+	suf := 0
+	for suf < len(al)-pre && suf < len(bl)-pre && al[len(al)-1-suf] == bl[len(bl)-1-suf] {
+		suf++
+	}
+	oldLines := al[pre : len(al)-suf]
+	newLines := bl[pre : len(bl)-suf]
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- a/%s\n+++ b/%s\n", path, path)
+	fmt.Fprintf(&sb, "@@ -%s +%s @@\n", hunkRange(pre, len(oldLines)), hunkRange(pre, len(newLines)))
+	for _, l := range oldLines {
+		sb.WriteString("-" + l + "\n")
+	}
+	for _, l := range newLines {
+		sb.WriteString("+" + l + "\n")
+	}
+	return sb.String()
+}
+
+// hunkRange formats a unified-diff range: start is the 0-based index of
+// the first changed line; a zero-length range anchors on the line before.
+func hunkRange(start, count int) string {
+	if count == 0 {
+		return fmt.Sprintf("%d,0", start)
+	}
+	if count == 1 {
+		return fmt.Sprintf("%d", start+1)
+	}
+	return fmt.Sprintf("%d,%d", start+1, count)
+}
+
+// splitLines splits without losing a trailing partial line.
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,229 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// PkgSyntax is the slice of one package an interprocedural pass needs:
+// its syntax trees and the type info that resolves them. The lint loader
+// shares object identities across packages of one load, so summaries
+// keyed by *types.Func work module-wide.
+type PkgSyntax struct {
+	Files []*ast.File
+	Info  *types.Info
+}
+
+// FuncSummary is the taint behaviour of one module function, computed by
+// running the intra-function analysis over its CFG.
+type FuncSummary struct {
+	// FreshReturn: some returned value derives from a taint source
+	// inside the function (directly or through callees).
+	FreshReturn bool
+	// ParamFlow: some returned value may derive from a parameter or the
+	// receiver, so calls propagate argument taint through this function.
+	ParamFlow bool
+}
+
+// Summaries holds per-function taint summaries for every function
+// declared in the analyzed packages, plus the call-graph resolution used
+// to build them.
+type Summaries struct {
+	funcs map[*types.Func]*funcInfo
+	// sourceCall identifies the root taint sources (e.g. time.Now).
+	sourceCall func(info *types.Info, call *ast.CallExpr) bool
+}
+
+type funcInfo struct {
+	decl *ast.FuncDecl
+	info *types.Info
+	sum  FuncSummary
+}
+
+// Summarize computes taint summaries for every function with a body in
+// pkgs, iterating the whole module to a fixed point so chains of helpers
+// (a calls b calls time.Now) converge. sourceCall marks the root
+// sources.
+func Summarize(pkgs []PkgSyntax, sourceCall func(info *types.Info, call *ast.CallExpr) bool) *Summaries {
+	s := &Summaries{
+		funcs:      make(map[*types.Func]*funcInfo),
+		sourceCall: sourceCall,
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pkg.Info == nil {
+					continue
+				}
+				fn, ok := pkg.Info.ObjectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				s.funcs[fn] = &funcInfo{decl: fd, info: pkg.Info}
+			}
+		}
+	}
+	// Unknown callees default to propagating taint, so summaries only
+	// ever gain taint across iterations; the fixed point is reached in
+	// at most |call-graph depth| rounds, bounded here defensively.
+	ordered := s.orderedFuncs()
+	for round := 0; round < len(ordered)+2; round++ {
+		changed := false
+		for _, fn := range ordered {
+			fi := s.funcs[fn]
+			sum := s.analyze(fi)
+			if sum != fi.sum {
+				fi.sum = sum
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return s
+}
+
+// orderedFuncs returns the summarized functions in a deterministic
+// order, so fixed-point iteration (and with it any diagnostics derived
+// downstream) never depends on map iteration.
+func (s *Summaries) orderedFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(s.funcs))
+	for fn := range s.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		if fns[i].Pkg() != fns[j].Pkg() {
+			pi, pj := "", ""
+			if fns[i].Pkg() != nil {
+				pi = fns[i].Pkg().Path()
+			}
+			if fns[j].Pkg() != nil {
+				pj = fns[j].Pkg().Path()
+			}
+			if pi != pj {
+				return pi < pj
+			}
+		}
+		if fns[i].FullName() != fns[j].FullName() {
+			return fns[i].FullName() < fns[j].FullName()
+		}
+		return fns[i].Pos() < fns[j].Pos()
+	})
+	return fns
+}
+
+// Summary returns fn's summary and whether fn is a module function the
+// pass analyzed.
+func (s *Summaries) Summary(fn *types.Func) (FuncSummary, bool) {
+	fi, ok := s.funcs[fn]
+	if !ok {
+		return FuncSummary{}, false
+	}
+	return fi.sum, true
+}
+
+// CalleeOf resolves a call expression to the *types.Func it invokes, or
+// nil for builtins, conversions, and calls through function values.
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	if info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.ObjectOf(id).(*types.Func)
+	return fn
+}
+
+// FreshCall reports whether call yields source-derived taint regardless
+// of its arguments: a root source, or a module function whose summary
+// says it returns fresh taint.
+func (s *Summaries) FreshCall(info *types.Info, call *ast.CallExpr) bool {
+	if s.sourceCall != nil && s.sourceCall(info, call) {
+		return true
+	}
+	if fn := CalleeOf(info, call); fn != nil {
+		if sum, ok := s.Summary(fn); ok {
+			return sum.FreshReturn
+		}
+	}
+	return false
+}
+
+// CallPropagates reports whether call forwards argument taint to its
+// result. Module functions answer from their summary; everything else
+// (stdlib, function values) conservatively propagates.
+func (s *Summaries) CallPropagates(info *types.Info, call *ast.CallExpr) bool {
+	if fn := CalleeOf(info, call); fn != nil {
+		if sum, ok := s.Summary(fn); ok {
+			return sum.ParamFlow
+		}
+	}
+	return true
+}
+
+// analyze computes one function's summary with two intra-function runs:
+// a source run (params clean, sources hot) deciding FreshReturn, and a
+// propagation run (params hot, sources cold) deciding ParamFlow.
+func (s *Summaries) analyze(fi *funcInfo) FuncSummary {
+	cfg := Build(fi.decl.Body)
+
+	params := make(ObjSet)
+	if fi.info != nil {
+		collect := func(fl *ast.FieldList) {
+			if fl == nil {
+				return
+			}
+			for _, f := range fl.List {
+				for _, name := range f.Names {
+					if obj := fi.info.ObjectOf(name); obj != nil {
+						params[obj] = true
+					}
+				}
+			}
+		}
+		collect(fi.decl.Recv)
+		collect(fi.decl.Type.Params)
+	}
+
+	returnsTainted := func(r *Result) bool {
+		found := false
+		r.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || found {
+				return
+			}
+			for _, e := range ret.Results {
+				if tainted(e) {
+					found = true
+				}
+			}
+		})
+		return found
+	}
+
+	var sum FuncSummary
+	srcRun := &Analysis{
+		Info:           fi.info,
+		FreshCall:      func(call *ast.CallExpr) bool { return s.FreshCall(fi.info, call) },
+		CallPropagates: func(call *ast.CallExpr) bool { return s.CallPropagates(fi.info, call) },
+	}
+	sum.FreshReturn = returnsTainted(srcRun.Run(cfg))
+
+	propRun := &Analysis{
+		Info:           fi.info,
+		CallPropagates: func(call *ast.CallExpr) bool { return s.CallPropagates(fi.info, call) },
+		Seed:           params,
+	}
+	sum.ParamFlow = returnsTainted(propRun.Run(cfg))
+	return sum
+}

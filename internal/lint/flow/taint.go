@@ -1,0 +1,330 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ObjSet is a set of variables (and fields) currently carrying taint.
+type ObjSet map[types.Object]bool
+
+func (s ObjSet) clone() ObjSet {
+	c := make(ObjSet, len(s))
+	for o := range s {
+		c[o] = true
+	}
+	return c
+}
+
+func (s ObjSet) equal(o ObjSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Analysis configures one reaching-taint run over a function CFG. The
+// lattice is the powerset of the function's objects ordered by
+// inclusion; the transfer function taints an assignment's targets when
+// its sources are tainted, and the meet at joins is set union (may
+// analysis: a value is tainted if it is tainted on any path).
+type Analysis struct {
+	Info *types.Info
+	// FreshCall reports whether a call's result is tainted regardless of
+	// its arguments — the taint sources (e.g. time.Now, or a module
+	// helper whose summary says it returns wall-clock data).
+	FreshCall func(call *ast.CallExpr) bool
+	// CallPropagates reports whether a call forwards taint from its
+	// arguments (and method receiver) to its results. When nil, every
+	// call propagates — the conservative default that keeps taint
+	// flowing through conversions, math.Abs, and unknown helpers.
+	CallPropagates func(call *ast.CallExpr) bool
+	// Seed taints objects before the entry block runs (used by the
+	// summary pass to model tainted parameters).
+	Seed ObjSet
+}
+
+// Result is the fixed point of one Analysis run.
+type Result struct {
+	an  *Analysis
+	cfg *CFG
+	in  map[*Block]ObjSet
+}
+
+// Run iterates the transfer function to a fixed point with a worklist.
+// The set only grows (no strong kills), so termination is bounded by
+// |objects| × |blocks|.
+func (an *Analysis) Run(cfg *CFG) *Result {
+	r := &Result{an: an, cfg: cfg, in: make(map[*Block]ObjSet, len(cfg.Blocks))}
+	for _, blk := range cfg.Blocks {
+		r.in[blk] = make(ObjSet)
+	}
+	for o := range an.Seed {
+		r.in[cfg.Entry][o] = true
+	}
+	work := make([]*Block, 0, len(cfg.Blocks))
+	work = append(work, cfg.Blocks...)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := r.in[blk].clone()
+		for _, n := range blk.Nodes {
+			an.transfer(n, out)
+		}
+		for _, succ := range blk.Succs {
+			merged := false
+			for o := range out {
+				if !r.in[succ][o] {
+					r.in[succ][o] = true
+					merged = true
+				}
+			}
+			if merged {
+				work = append(work, succ)
+			}
+		}
+	}
+	return r
+}
+
+// Walk revisits every block in index order, replaying the transfer
+// function from the block's fixed-point IN state and handing each node
+// to visit along with a taint query valid at that node.
+func (r *Result) Walk(visit func(n ast.Node, tainted func(e ast.Expr) bool)) {
+	for _, blk := range r.cfg.Blocks {
+		set := r.in[blk].clone()
+		for _, n := range blk.Nodes {
+			visit(n, func(e ast.Expr) bool { return r.an.tainted(e, set) })
+			r.an.transfer(n, set)
+		}
+	}
+}
+
+// transfer applies one node's effect to the taint set. Nodes are whole
+// statements; nested assignments inside them (e.g. in an if-init) arrive
+// as their own nodes from the CFG builder, so a shallow walk suffices.
+func (an *Analysis) transfer(n ast.Node, set ObjSet) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		an.assign(n, set)
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			fromTuple := len(vs.Names) > 1 && len(vs.Values) == 1 && an.tainted(vs.Values[0], set)
+			for i, name := range vs.Names {
+				if i < len(vs.Values) && an.tainted(vs.Values[i], set) || fromTuple {
+					an.taintTarget(name, set)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.X != nil && an.tainted(n.X, set) {
+			an.taintTarget(n.Key, set)
+			an.taintTarget(n.Value, set)
+		}
+	case *ast.IncDecStmt:
+		// x++ keeps x's taint; nothing to do.
+	}
+}
+
+func (an *Analysis) assign(as *ast.AssignStmt, set ObjSet) {
+	switch {
+	case as.Tok == token.ASSIGN || as.Tok == token.DEFINE:
+		if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+			// Tuple assignment: every target shares the source's taint.
+			if an.tainted(as.Rhs[0], set) {
+				for _, lhs := range as.Lhs {
+					an.taintTarget(lhs, set)
+				}
+			}
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i < len(as.Rhs) && an.tainted(as.Rhs[i], set) {
+				an.taintTarget(lhs, set)
+			}
+		}
+	default:
+		// Compound assignment (+=, -=, …): target stays tainted if it
+		// was, and becomes tainted if the operand is.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 && an.tainted(as.Rhs[0], set) {
+			an.taintTarget(as.Lhs[0], set)
+		}
+	}
+}
+
+// taintTarget marks the object behind an assignment target. Composite
+// targets (m[k], s.f, *p) taint their root object: writing a tainted
+// value into one slot taints the container, which is the right
+// granularity for "did wall-clock data reach this state at all".
+func (an *Analysis) taintTarget(lhs ast.Expr, set ObjSet) {
+	if obj := an.rootObj(lhs); obj != nil {
+		set[obj] = true
+	}
+}
+
+// rootObj resolves an expression to the variable or field object that
+// carries its taint, or nil for expressions without one.
+func (an *Analysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if an.Info != nil {
+				if obj := an.Info.ObjectOf(x); obj != nil {
+					return obj
+				}
+			}
+			return nil
+		case *ast.SelectorExpr:
+			// Prefer the field object: fields are shared across every
+			// function that touches the struct type.
+			if an.Info != nil {
+				if obj := an.Info.ObjectOf(x.Sel); obj != nil {
+					return obj
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// tainted reports whether evaluating e can yield a tainted value under
+// the current set.
+func (an *Analysis) tainted(e ast.Expr, set ObjSet) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *ast.Ident:
+		if an.Info != nil {
+			if obj := an.Info.ObjectOf(e); obj != nil {
+				return set[obj]
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if an.Info != nil {
+			if obj := an.Info.ObjectOf(e.Sel); obj != nil && set[obj] {
+				return true
+			}
+		}
+		return an.tainted(e.X, set)
+	case *ast.ParenExpr:
+		return an.tainted(e.X, set)
+	case *ast.StarExpr:
+		return an.tainted(e.X, set)
+	case *ast.UnaryExpr:
+		// Includes <-ch: a receive from a tainted channel is tainted.
+		return an.tainted(e.X, set)
+	case *ast.BinaryExpr:
+		return an.tainted(e.X, set) || an.tainted(e.Y, set)
+	case *ast.IndexExpr:
+		return an.tainted(e.X, set) || an.tainted(e.Index, set)
+	case *ast.SliceExpr:
+		return an.tainted(e.X, set)
+	case *ast.TypeAssertExpr:
+		return an.tainted(e.X, set)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if an.tainted(kv.Value, set) {
+					return true
+				}
+				continue
+			}
+			if an.tainted(elt, set) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return an.callTainted(e, set)
+	default:
+		// Literals, func literals, type expressions.
+		return false
+	}
+}
+
+func (an *Analysis) callTainted(call *ast.CallExpr, set ObjSet) bool {
+	if an.FreshCall != nil && an.FreshCall(call) {
+		return true
+	}
+	if an.isConversion(call) {
+		return len(call.Args) == 1 && an.tainted(call.Args[0], set)
+	}
+	propagates := true
+	if an.CallPropagates != nil {
+		propagates = an.CallPropagates(call)
+	}
+	if !propagates {
+		return false
+	}
+	for _, arg := range call.Args {
+		if an.tainted(arg, set) {
+			return true
+		}
+	}
+	// A method call on a tainted receiver yields tainted data
+	// (t.UnixNano() with t from time.Now).
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if an.Info != nil {
+			if _, isPkg := an.Info.ObjectOf(baseIdentOf(sel.X)).(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		return an.tainted(sel.X, set)
+	}
+	return false
+}
+
+// isConversion reports whether call is a type conversion (float64(x)).
+func (an *Analysis) isConversion(call *ast.CallExpr) bool {
+	if an.Info == nil {
+		return false
+	}
+	tv, ok := an.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// baseIdentOf returns the leftmost identifier of a selector/index chain.
+func baseIdentOf(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

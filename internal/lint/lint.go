@@ -24,7 +24,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
+	"path/filepath"
 	"strings"
 )
 
@@ -34,9 +34,23 @@ type Diagnostic struct {
 	Position token.Position `json:"position"`
 	Rule     string         `json:"rule"`
 	Message  string         `json:"message"`
-	// SuggestedFix is advisory prose, not a patch: the idiom that
-	// removes the finding.
+	// SuggestedFix is advisory prose: the idiom that removes the
+	// finding. When the analyzer can compute the rewrite mechanically,
+	// Edits carries it and Fixable is set.
 	SuggestedFix string `json:"suggested_fix,omitempty"`
+	// Fixable marks findings whose Edits implement the suggested fix;
+	// ndplint -fix applies them.
+	Fixable bool `json:"fixable,omitempty"`
+	// Edits are the concrete rewrites (token positions into the pass's
+	// FileSet). Excluded from JSON: positions are process-local.
+	Edits []Edit `json:"-"`
+}
+
+// Edit is one textual replacement: the source range [Pos, End) becomes
+// New. An insertion has Pos == End.
+type Edit struct {
+	Pos, End token.Pos
+	New      string
 }
 
 func (d Diagnostic) String() string {
@@ -70,6 +84,10 @@ type Pass struct {
 	// be missing; analyzers degrade to syntactic heuristics when they
 	// are.
 	Info *types.Info
+	// Mod groups every package of this Run call, so interprocedural
+	// analyzers (timetaint, chanprotocol) can follow flows across
+	// package boundaries and cache module-wide results.
+	Mod *Module
 
 	diags *[]Diagnostic
 	// ignores maps file name -> line -> rules suppressed on that line.
@@ -78,6 +96,12 @@ type Pass struct {
 
 // Report records a finding unless an ignore directive covers it.
 func (p *Pass) Report(pos token.Pos, message, suggestedFix string) {
+	p.ReportFix(pos, message, suggestedFix, nil)
+}
+
+// ReportFix records a finding carrying concrete edits that implement the
+// suggested fix (applied by ndplint -fix).
+func (p *Pass) ReportFix(pos token.Pos, message, suggestedFix string, edits []Edit) {
 	position := p.Fset.Position(pos)
 	if p.suppressed(position) {
 		return
@@ -87,6 +111,8 @@ func (p *Pass) Report(pos token.Pos, message, suggestedFix string) {
 		Rule:         p.Analyzer.Name(),
 		Message:      message,
 		SuggestedFix: suggestedFix,
+		Fixable:      len(edits) > 0,
+		Edits:        edits,
 	})
 }
 
@@ -164,15 +190,53 @@ func collectIgnores(fset *token.FileSet, file *ast.File, into map[string]map[int
 			if into[pos.Filename] == nil {
 				into[pos.Filename] = make(map[int][]string)
 			}
-			into[pos.Filename][pos.Line] = append(into[pos.Filename][pos.Line], fields[0])
+			// One directive may suppress several rules at once:
+			// //lint:ignore ruleA,ruleB <reason>.
+			for _, rule := range strings.Split(fields[0], ",") {
+				rule = strings.TrimSpace(rule)
+				if rule == "" {
+					*diags = append(*diags, Diagnostic{
+						Position:     pos,
+						Rule:         "ignore",
+						Message:      "malformed //lint:ignore directive: empty rule in list",
+						SuggestedFix: "write //lint:ignore <rule>[,<rule>...] <reason>",
+					})
+					continue
+				}
+				into[pos.Filename][pos.Line] = append(into[pos.Filename][pos.Line], rule)
+			}
 		}
 	}
+}
+
+// Module groups the packages of one Run call. Interprocedural analyzers
+// memoize module-wide results (call-graph summaries, channel alias
+// classes) here so the work happens once, not once per package.
+type Module struct {
+	Pkgs []*Package
+
+	memo map[string]any
+}
+
+// Memoize returns the cached value under key, building it on first use.
+// Analyzers are run sequentially, so no locking is needed.
+func (m *Module) Memoize(key string, build func() any) any {
+	if m.memo == nil {
+		m.memo = make(map[string]any)
+	}
+	if v, ok := m.memo[key]; ok {
+		return v
+	}
+	v := build()
+	m.memo[key] = v
+	return v
 }
 
 // Run applies every analyzer to every package and returns the findings
 // sorted by position then rule, so output order is itself deterministic.
 func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 	var diags []Diagnostic
+	mod := &Module{Pkgs: pkgs}
 	for _, pkg := range pkgs {
 		ignores := make(map[string]map[int][]string)
 		for _, f := range pkg.Files {
@@ -185,30 +249,26 @@ func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 				ImportPath: pkg.ImportPath,
 				Files:      pkg.Files,
 				Info:       pkg.Info,
+				Mod:        mod,
 				diags:      &diags,
 				ignores:    ignores,
 			}
 			a.Run(pass)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i], diags[j]
-		if a.Position.Filename != b.Position.Filename {
-			return a.Position.Filename < b.Position.Filename
-		}
-		if a.Position.Line != b.Position.Line {
-			return a.Position.Line < b.Position.Line
-		}
-		if a.Position.Column != b.Position.Column {
-			return a.Position.Column < b.Position.Column
-		}
-		return a.Rule < b.Rule
-	})
+	SortDiagnostics(diags)
 	return diags
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the six
+// syntactic rules from the original suite, then the three
+// dataflow-powered rules built on internal/lint/flow.
 func All() []Analyzer {
+	return append(Syntactic(), Dataflow()...)
+}
+
+// Syntactic returns the per-function pattern-matching rules.
+func Syntactic() []Analyzer {
 	return []Analyzer{
 		NoDeterm{},
 		MapOrder{},
@@ -216,5 +276,25 @@ func All() []Analyzer {
 		MutexCopy{},
 		FloatAcc{},
 		PanicPath{},
+	}
+}
+
+// Dataflow returns the CFG/taint-based rules.
+func Dataflow() []Analyzer {
+	return []Analyzer{
+		ChanProtocol{},
+		TimeTaint{},
+		LockFlow{},
+	}
+}
+
+// Relativize rewrites diagnostic positions to be slash-separated paths
+// relative to root. Output (JSON, baselines, goldens) becomes stable
+// across checkouts; unrelated paths are left absolute.
+func Relativize(diags []Diagnostic, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Position.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Position.Filename = filepath.ToSlash(rel)
+		}
 	}
 }

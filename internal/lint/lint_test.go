@@ -23,22 +23,34 @@ type want struct {
 // failure would make a rule pass vacuously.
 func loadFixture(t *testing.T, dir string) *Package {
 	t.Helper()
+	return loadFixtureSet(t, dir)[0]
+}
+
+// loadFixtureSet loads several fixture directories through ONE loader,
+// so cross-package object identities line up — the interprocedural
+// summaries key on *types.Func pointers, and a helper package loaded by
+// a second loader would be a different object graph entirely.
+func loadFixtureSet(t *testing.T, dirs ...string) []*Package {
+	t.Helper()
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := loader.Load(filepath.Join("internal", "lint", "testdata", "src", dir))
-	if err != nil {
-		t.Fatal(err)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		got, err := loader.Load(filepath.Join("internal", "lint", "testdata", "src", dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 1 {
+			t.Fatalf("loaded %d packages for %s, want 1", len(got), dir)
+		}
+		for _, e := range got[0].TypeErrors {
+			t.Errorf("fixture type error: %v", e)
+		}
+		pkgs = append(pkgs, got[0])
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("loaded %d packages for %s, want 1", len(pkgs), dir)
-	}
-	pkg := pkgs[0]
-	for _, e := range pkg.TypeErrors {
-		t.Errorf("fixture type error: %v", e)
-	}
-	return pkg
+	return pkgs
 }
 
 // collectWants maps "file:line" to the expectation attached to that line.
@@ -69,26 +81,42 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		// importPath overrides the loader-derived path for path-scoped
 		// rules (nodeterm only fires under the simulation packages).
 		importPath string
+		// extra dirs are loaded alongside so module-wide analyses
+		// (summaries, alias classes) see helper packages; their natural
+		// import paths are kept.
+		extra []string
 	}{
-		{"nodeterm", NoDeterm{}, "repro/internal/sim/fixture"},
+		{"nodeterm", NoDeterm{}, "repro/internal/sim/fixture", nil},
 		// The fault-injection layer is the highest-stakes nodeterm scope:
 		// drops, delays, and backoff must come from the seeded plan, never
 		// the wall clock or ambient RNG.
-		{"faultclock", NoDeterm{}, "repro/internal/cluster/fault"},
-		{"maporder", MapOrder{}, ""},
-		{"errcheck", ErrCheck{}, ""},
-		{"mutexcopy", MutexCopy{}, ""},
-		{"floatacc", FloatAcc{}, ""},
-		{"panicpath", PanicPath{}, ""},
+		{"faultclock", NoDeterm{}, "repro/internal/cluster/fault", nil},
+		{"maporder", MapOrder{}, "", nil},
+		{"errcheck", ErrCheck{}, "", nil},
+		{"mutexcopy", MutexCopy{}, "", nil},
+		{"floatacc", FloatAcc{}, "", nil},
+		{"panicpath", PanicPath{}, "", nil},
+		// The dataflow suite: chanprotocol reports into the cluster
+		// scope, timetaint into the sim scope (its nondeterminism is
+		// laundered through the clockutil helper, loaded alongside).
+		{"chanprotocol", ChanProtocol{}, "repro/internal/cluster/fixture", nil},
+		{"timetaint", TimeTaint{}, "repro/internal/sim/fixture", []string{"timetaint/clockutil"}},
+		{"lockflow", LockFlow{}, "", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
-			pkg := loadFixture(t, tc.dir)
+			pkgs := loadFixtureSet(t, append([]string{tc.dir}, tc.extra...)...)
+			pkg := pkgs[0]
 			if tc.importPath != "" {
 				pkg.ImportPath = tc.importPath
 			}
-			diags := Run([]Analyzer{tc.analyzer}, []*Package{pkg})
+			diags := Run([]Analyzer{tc.analyzer}, pkgs)
 			wants := collectWants(pkg)
+			for _, extra := range pkgs[1:] {
+				for k, v := range collectWants(extra) {
+					wants[k] = v
+				}
+			}
 			fired := 0
 			for _, d := range diags {
 				key := fmt.Sprintf("%s:%d", filepath.Base(d.Position.Filename), d.Position.Line)
@@ -215,5 +243,34 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 	diags := Run(All(), pkgs)
 	for _, d := range diags {
 		t.Errorf("repository is not lint-clean: %s", d)
+	}
+}
+
+// TestDataflowCatchesWhatSyntaxMisses is the acceptance check for the
+// dataflow suite: each seeded fixture bug must be invisible to all six
+// syntactic analyzers (run under the same scope overrides, so they get
+// every chance to fire) and caught by the corresponding dataflow rule.
+func TestDataflowCatchesWhatSyntaxMisses(t *testing.T) {
+	cases := []struct {
+		name       string
+		dirs       []string
+		importPath string // override applied to dirs[0]
+		dataflow   Analyzer
+	}{
+		{"chanprotocol", []string{"chanprotocol"}, "repro/internal/cluster/fixture", ChanProtocol{}},
+		{"timetaint", []string{"timetaint", "timetaint/clockutil"}, "repro/internal/sim/fixture", TimeTaint{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs := loadFixtureSet(t, tc.dirs...)
+			pkgs[0].ImportPath = tc.importPath
+			for _, d := range Run(Syntactic(), pkgs) {
+				t.Errorf("syntactic analyzer unexpectedly caught the seeded bug: %s", d)
+			}
+			dataflow := Run([]Analyzer{tc.dataflow}, pkgs)
+			if len(dataflow) == 0 {
+				t.Errorf("%s found nothing on its fixture: the seeded bug went uncaught", tc.dataflow.Name())
+			}
+		})
 	}
 }

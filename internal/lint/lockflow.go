@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// LockFlow detects lock-order inversions: two code paths that acquire
+// the same pair of mutexes in opposite orders, which is the classic
+// recipe for an AB/BA deadlock between the simulator's actor goroutines.
+//
+// Per function, a may-held lockset flows over the CFG: every
+// Lock/RLock on a sync mutex records an ordered pair (held, acquired)
+// for each mutex that may already be held on some path to that point.
+// Unlock removes the mutex, except inside a defer — a deferred unlock
+// runs at function exit, so the lock is treated as held for the rest of
+// the body (the `mu.Lock(); defer mu.Unlock()` idiom). Pairs are
+// aggregated module-wide and keyed by the mutex's declared object (a
+// field object identifies "field mu of type T" across all instances),
+// so an inversion between two different functions — or two branches of
+// one — is caught either way.
+type LockFlow struct{}
+
+func (LockFlow) Name() string { return "lockflow" }
+func (LockFlow) Doc() string {
+	return "flag mutex pairs acquired in opposite orders on different paths (AB/BA deadlock shape)"
+}
+
+func lockScope(importPath string) bool {
+	return strings.Contains(importPath, "/internal/")
+}
+
+func (a LockFlow) Run(pass *Pass) {
+	if !lockScope(pass.ImportPath) || pass.Info == nil || pass.Mod == nil {
+		return
+	}
+	res := lockAnalysis(pass.Mod)
+	for _, f := range res.findings {
+		if f.pkg != pass.ImportPath {
+			continue
+		}
+		pass.Report(f.pos, f.message, f.fix)
+	}
+}
+
+type lockFinding struct {
+	pkg     string
+	pos     token.Pos
+	message string
+	fix     string
+}
+
+type lockResult struct {
+	findings []lockFinding
+}
+
+// lockPair is an ordered acquisition: second was locked while first may
+// have been held.
+type lockPair struct {
+	first, second types.Object
+}
+
+// lockSite is the earliest witness of one ordered pair.
+type lockSite struct {
+	pos    token.Pos
+	pkg    string
+	where  string // short "file:line" for the counterpart message
+	name   string // source text of the acquired mutex
+	heldAs string // source text the held mutex was acquired under
+}
+
+func lockAnalysis(mod *Module) *lockResult {
+	return mod.Memoize("lockflow.analysis", func() any {
+		pairs := make(map[lockPair]lockSite)
+		for _, pkg := range mod.Pkgs {
+			if !lockScope(pkg.ImportPath) || pkg.Info == nil {
+				continue
+			}
+			for _, file := range pkg.Files {
+				if strings.HasSuffix(pkg.Fset.Position(file.Pos()).Filename, "_test.go") {
+					continue
+				}
+				ast.Inspect(file, func(n ast.Node) bool {
+					var body *ast.BlockStmt
+					switch fn := n.(type) {
+					case *ast.FuncDecl:
+						body = fn.Body
+					case *ast.FuncLit:
+						body = fn.Body
+					default:
+						return true
+					}
+					if body == nil {
+						return true
+					}
+					collectLockPairs(pkg, body, pairs)
+					return true
+				})
+			}
+		}
+		res := &lockResult{}
+		ordered := make([]lockPair, 0, len(pairs))
+		for p := range pairs {
+			ordered = append(ordered, p)
+		}
+		sort.Slice(ordered, func(i, j int) bool {
+			si, sj := pairs[ordered[i]], pairs[ordered[j]]
+			if si.pos != sj.pos {
+				return si.pos < sj.pos
+			}
+			return si.heldAs < sj.heldAs // same acquire site, several held mutexes
+		})
+		seen := make(map[lockPair]bool)
+		for _, p := range ordered {
+			inv := lockPair{first: p.second, second: p.first}
+			if seen[p] || seen[inv] {
+				continue
+			}
+			counter, ok := pairs[inv]
+			if !ok {
+				continue
+			}
+			seen[p], seen[inv] = true, true
+			site := pairs[p]
+			res.findings = append(res.findings,
+				lockFinding{
+					pkg: site.pkg, pos: site.pos,
+					message: fmt.Sprintf("%s is locked while %s may be held, but %s locks them in the opposite order (AB/BA deadlock)",
+						site.name, site.heldAs, counter.where),
+					fix: "pick one global acquisition order for this mutex pair and use it on every path",
+				},
+				lockFinding{
+					pkg: counter.pkg, pos: counter.pos,
+					message: fmt.Sprintf("%s is locked while %s may be held, but %s locks them in the opposite order (AB/BA deadlock)",
+						counter.name, counter.heldAs, site.where),
+					fix: "pick one global acquisition order for this mutex pair and use it on every path",
+				})
+		}
+		sort.Slice(res.findings, func(i, j int) bool {
+			if res.findings[i].pos != res.findings[j].pos {
+				return res.findings[i].pos < res.findings[j].pos
+			}
+			return res.findings[i].message < res.findings[j].message
+		})
+		return res
+	}).(*lockResult)
+}
+
+// lockEvent is one acquisition or release inside a CFG node, in source
+// order. Deferred releases are dropped at extraction: they run at
+// function exit, not here.
+type lockEvent struct {
+	obj     types.Object
+	acquire bool
+	pos     token.Pos
+	name    string
+}
+
+func collectLockPairs(pkg *Package, body *ast.BlockStmt, pairs map[lockPair]lockSite) {
+	cfg := flow.Build(body)
+	events := make(map[*flow.Block][][]lockEvent, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		evs := make([][]lockEvent, len(blk.Nodes))
+		for i, node := range blk.Nodes {
+			evs[i] = lockEventsIn(pkg.Info, node)
+		}
+		events[blk] = evs
+	}
+	// May-held fixpoint: union at joins; a mutex held on any path into
+	// the block counts.
+	in := make(map[*flow.Block]map[types.Object]string, len(cfg.Blocks))
+	for _, blk := range cfg.Blocks {
+		in[blk] = make(map[types.Object]string)
+	}
+	work := append([]*flow.Block(nil), cfg.Blocks...)
+	for len(work) > 0 {
+		blk := work[0]
+		work = work[1:]
+		out := make(map[types.Object]string, len(in[blk]))
+		for o, nm := range in[blk] {
+			out[o] = nm
+		}
+		for _, evs := range events[blk] {
+			for _, ev := range evs {
+				if ev.acquire {
+					if _, ok := out[ev.obj]; !ok {
+						out[ev.obj] = ev.name
+					}
+				} else {
+					delete(out, ev.obj)
+				}
+			}
+		}
+		for _, succ := range blk.Succs {
+			changed := false
+			for o, nm := range out {
+				if _, ok := in[succ][o]; !ok {
+					in[succ][o] = nm
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+	// Sweep with the fixed point: record ordered pairs at each acquire.
+	for _, blk := range cfg.Blocks {
+		held := make(map[types.Object]string, len(in[blk]))
+		for o, nm := range in[blk] {
+			held[o] = nm
+		}
+		for _, evs := range events[blk] {
+			for _, ev := range evs {
+				if !ev.acquire {
+					delete(held, ev.obj)
+					continue
+				}
+				for heldObj, heldName := range held {
+					if heldObj == ev.obj {
+						continue
+					}
+					p := lockPair{first: heldObj, second: ev.obj}
+					if old, ok := pairs[p]; !ok || ev.pos < old.pos {
+						posn := pkg.Fset.Position(ev.pos)
+						pairs[p] = lockSite{
+							pos:    ev.pos,
+							pkg:    pkg.ImportPath,
+							where:  fmt.Sprintf("%s:%d", filepath.Base(posn.Filename), posn.Line),
+							name:   ev.name,
+							heldAs: heldName,
+						}
+					}
+				}
+				if _, ok := held[ev.obj]; !ok {
+					held[ev.obj] = ev.name
+				}
+			}
+		}
+	}
+}
+
+// lockEventsIn extracts mutex acquire/release events from one CFG node,
+// skipping nested function literals (they get their own CFG) and
+// deferred releases (they run at exit).
+func lockEventsIn(info *types.Info, node ast.Node) []lockEvent {
+	var evs []lockEvent
+	var walk func(n ast.Node, inDefer bool) bool
+	walk = func(n ast.Node, inDefer bool) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			ast.Inspect(n.Call, func(m ast.Node) bool { return walk(m, true) })
+			return false
+		case *ast.CallExpr:
+			obj, acquire, name, ok := mutexCall(info, n)
+			if !ok {
+				return true
+			}
+			if !acquire && inDefer {
+				return true // deferred unlock: held until exit
+			}
+			evs = append(evs, lockEvent{obj: obj, acquire: acquire, pos: n.Pos(), name: name})
+		}
+		return true
+	}
+	ast.Inspect(node, func(n ast.Node) bool { return walk(n, false) })
+	return evs
+}
+
+// mutexCall matches m.Lock/RLock/Unlock/RUnlock where the method is
+// sync's (including promoted methods of embedded mutexes) and resolves
+// the mutex to its declared object.
+func mutexCall(info *types.Info, call *ast.CallExpr) (types.Object, bool, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || info == nil {
+		return nil, false, "", false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, "", false
+	}
+	var acquire bool
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return nil, false, "", false
+	}
+	obj := mutexObj(info, sel.X)
+	if obj == nil {
+		return nil, false, "", false
+	}
+	return obj, acquire, types.ExprString(sel.X), true
+}
+
+// mutexObj resolves the receiver expression to the stable object naming
+// the mutex: the field object for s.mu (shared across instances of the
+// type), the variable object for a local or package-level mutex.
+func mutexObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return info.ObjectOf(e)
+	case *ast.SelectorExpr:
+		return info.ObjectOf(e.Sel)
+	case *ast.ParenExpr:
+		return mutexObj(info, e.X)
+	case *ast.StarExpr:
+		return mutexObj(info, e.X)
+	case *ast.IndexExpr:
+		return mutexObj(info, e.X)
+	}
+	return nil
+}

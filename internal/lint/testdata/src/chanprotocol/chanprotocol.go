@@ -1,0 +1,112 @@
+// Package chanprotocol is the fixture for the chanprotocol analyzer.
+// The test harness overrides its import path into internal/cluster so
+// the cluster-scoped rule fires. Each // want comment marks an expected
+// diagnostic on that line; everything else must stay clean.
+package chanprotocol
+
+// batch mirrors the cluster's update batches: the ack channel rides
+// inside the struct, and the receiver drains it from the field — a
+// protocol the alias analysis must stitch back together.
+type batch struct {
+	seq int
+	ack chan int
+}
+
+// paired is the healthy idiom: the ack created here is answered by the
+// consumer through the struct field, and drained locally. No findings.
+func paired() int {
+	out := make(chan batch, 1)
+	ack := make(chan int, 1)
+	out <- batch{seq: 7, ack: ack}
+	go drain(out)
+	return <-ack
+}
+
+func drain(out chan batch) {
+	for b := range out {
+		b.ack <- b.seq
+	}
+}
+
+// lostBatch is a separate type so its ack field is a distinct alias
+// class from batch's (classes key on the declared field object).
+type lostBatch struct {
+	seq int
+	ack chan int
+}
+
+// lostAck seeds the receiver-less send: the consumer answers on the ack
+// field, but nobody ever drains it — the consumer goroutine blocks
+// forever on the first reply. The six syntactic analyzers cannot see
+// this; it takes the module-wide alias classes.
+func lostAck() {
+	out := make(chan lostBatch, 1)
+	ack := make(chan int) // want "never received from anywhere in the module"
+	out <- lostBatch{seq: 9, ack: ack}
+	go drainLost(out)
+}
+
+func drainLost(out chan lostBatch) {
+	for b := range out {
+		b.ack <- b.seq
+	}
+}
+
+// retryClose seeds the double-close: a retry loop that re-closes the
+// completion signal panics on the second iteration. The close reaches
+// itself around the loop back edge.
+func retryClose(attempts int) {
+	done := make(chan struct{})
+	for i := 0; i < attempts; i++ {
+		close(done) // want "may already be closed"
+	}
+	<-done
+}
+
+// closeTwice seeds the branch-join double-close: the conditional early
+// close and the unconditional one meet.
+func closeTwice(early bool) {
+	sig := make(chan struct{})
+	if early {
+		close(sig)
+	}
+	close(sig) // want "may already be closed"
+	<-sig
+}
+
+// sendAfterClose seeds the send-on-closed-channel panic: the flush send
+// happens on a path after the owner closed the channel.
+func sendAfterClose(vals []int) {
+	res := make(chan int, 4)
+	go func() {
+		for range res {
+		}
+	}()
+	for _, v := range vals {
+		res <- v
+	}
+	close(res)
+	res <- 0 // want "may have been closed"
+}
+
+// closeOncePerPath is clean: each path closes exactly once, and the
+// may-analysis must not merge them into a false double-close... the
+// branches are exclusive, but a may-analysis will still union them at
+// the join — so the close sits before the join on each arm, where the
+// in-state is empty.
+func closeOncePerPath(left bool) {
+	ch := make(chan struct{})
+	if left {
+		close(ch)
+	} else {
+		close(ch)
+	}
+	<-ch
+}
+
+// suppressed shows the escape hatch: the consumer lives in code the
+// analyzer cannot see, and the author says so.
+func suppressed() {
+	n := make(chan int, 1) //lint:ignore chanprotocol consumer is attached by the external harness at runtime
+	n <- 1
+}

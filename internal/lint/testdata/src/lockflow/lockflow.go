@@ -1,0 +1,104 @@
+// Package lockflow is the fixture for the lockflow analyzer: mutex
+// pairs acquired in opposite orders on different paths. Its natural
+// import path already sits under /internal/, so no override is needed.
+package lockflow
+
+import "sync"
+
+// pool carries two mutexes; the pair's acquisition order must be global.
+type pool struct {
+	alloc sync.Mutex
+	free  sync.Mutex
+}
+
+// grab locks alloc→free; release locks free→alloc. Classic AB/BA
+// between two functions — the pairs aggregate module-wide.
+func (p *pool) grab() {
+	p.alloc.Lock()
+	p.free.Lock() // want "opposite order"
+	p.free.Unlock()
+	p.alloc.Unlock()
+}
+
+func (p *pool) release() {
+	p.free.Lock()
+	p.alloc.Lock() // want "opposite order"
+	p.alloc.Unlock()
+	p.free.Unlock()
+}
+
+// audit is clean: same order as grab, and the deferred unlocks must be
+// treated as held-until-exit (not as an immediate release).
+func (p *pool) audit() {
+	p.alloc.Lock()
+	defer p.alloc.Unlock()
+	p.free.Lock()
+	defer p.free.Unlock()
+}
+
+var a, b sync.Mutex
+
+// branchy inverts the order between two arms of one if — the
+// single-function shape of the same deadlock.
+func branchy(swap bool) {
+	if swap {
+		a.Lock()
+		b.Lock() // want "opposite order"
+		b.Unlock()
+		a.Unlock()
+	} else {
+		b.Lock()
+		a.Lock() // want "opposite order"
+		a.Unlock()
+		b.Unlock()
+	}
+}
+
+// sequential is clean: a is released before b is acquired, so no
+// ordered pair exists at all.
+func sequential() {
+	a.Lock()
+	a.Unlock()
+	b.Lock()
+	b.Unlock()
+}
+
+// table mixes read and write locks: an RLock counts as an acquisition
+// for ordering purposes.
+type table struct {
+	mu   sync.RWMutex
+	stat sync.Mutex
+}
+
+func (t *table) read() {
+	t.mu.RLock()
+	t.stat.Lock() // want "opposite order"
+	t.stat.Unlock()
+	t.mu.RUnlock()
+}
+
+func (t *table) write() {
+	t.stat.Lock()
+	t.mu.Lock() // want "opposite order"
+	t.mu.Unlock()
+	t.stat.Unlock()
+}
+
+var c, d sync.Mutex
+
+// fwd/bwd: the inversion is acknowledged on one side with a reasoned
+// ignore; the other side still reports.
+func fwd() {
+	c.Lock()
+	d.Lock() // want "opposite order"
+	d.Unlock()
+	c.Unlock()
+}
+
+func bwd() {
+	d.Lock()
+	//lint:ignore lockflow transient migration path, removed with the old scheduler
+	c.Lock()
+	c.Unlock()
+	d.Unlock()
+}

@@ -1,0 +1,33 @@
+// Package clockutil is the laundering helper for the timetaint fixture.
+// It lives outside the simulation path prefixes, so the syntactic
+// nodeterm rule never looks at it — which is exactly the hole the
+// interprocedural analysis closes: these helpers hand wall-clock and
+// global-rand values to simulation code two hops away.
+package clockutil
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp returns the wall clock as a float — a classic nondeterminism
+// source once it reaches simulation state.
+func Stamp() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// Jitter returns a value from the global (unseeded) generator.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Scaled only transforms its argument; taint must flow through it
+// (ParamFlow), not originate here.
+func Scaled(x float64) float64 {
+	return x * 1e-9
+}
+
+// Fixed is deterministic; values derived from it must stay clean.
+func Fixed() float64 {
+	return 42
+}

@@ -1,0 +1,69 @@
+// Package timetaint is the fixture for the timetaint analyzer. The test
+// harness overrides its import path into the simulation scope; all
+// nondeterminism arrives laundered through the clockutil helper package,
+// which keeps the syntactic nodeterm rule blind — only the
+// interprocedural taint analysis can connect source to sink.
+package timetaint
+
+import "repro/internal/lint/testdata/src/timetaint/clockutil"
+
+// state stands in for simulator bookkeeping: writes to its fields are
+// simulation-state sinks.
+type state struct {
+	residual float64
+	offset   float64
+}
+
+// lastStamp is package-level shared state; writing tainted values into
+// it is a sink too.
+var lastStamp float64
+
+// scaledNow launders the wall clock through two module-local hops: the
+// summary fixpoint must mark it FreshReturn via clockutil.Scaled's
+// ParamFlow over clockutil.Stamp's fresh result.
+func scaledNow() float64 {
+	return clockutil.Scaled(clockutil.Stamp())
+}
+
+// absorb seeds the one-hop bug: a helper-laundered timestamp lands in a
+// residual accumulator.
+func (s *state) absorb() {
+	v := clockutil.Stamp()
+	s.residual += v // want "derived from wall-clock time or global math/rand"
+}
+
+// absorbScaled seeds the two-hop bug through the local wrapper.
+func (s *state) absorbScaled() {
+	s.residual = scaledNow() // want "derived from wall-clock time or global math/rand"
+}
+
+// publish seeds the global-state bug with the unseeded generator.
+func publish() {
+	lastStamp = clockutil.Jitter() // want "derived from wall-clock time or global math/rand"
+}
+
+// feed seeds the channel-send bug: the tainted value enters the
+// simulation pipeline over a channel.
+func feed(pipe chan float64) {
+	j := clockutil.Jitter()
+	pipe <- j // want "sent into the simulation pipeline"
+}
+
+// deterministic is the clean control: the same shape of code with a
+// deterministic source must not be flagged.
+func (s *state) deterministic() {
+	s.residual += clockutil.Scaled(clockutil.Fixed())
+}
+
+// localOnly shows sink precision: a tainted value that stays in locals
+// (say, for logging outside the measured path) is not a finding.
+func localOnly() float64 {
+	t := clockutil.Stamp()
+	u := clockutil.Scaled(t)
+	return u
+}
+
+// acknowledged shows the escape hatch with its mandatory reason.
+func (s *state) acknowledged() {
+	s.offset = clockutil.Stamp() //lint:ignore timetaint display-only offset, never enters the measured simulation
+}

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/flow"
+)
+
+// TimeTaint is the interprocedural version of nodeterm: it flags values
+// *derived from* wall-clock time or the global math/rand generator that
+// reach a simulation-state write in the scoped packages — even when the
+// source call sits in a helper two hops away, in another package, where
+// nodeterm's syntactic scope never looks. A timestamp laundered through
+// `func stamp() float64` into a residual accumulator corrupts run-to-run
+// determinism just as surely as a direct time.Now at the write.
+//
+// Sources: calls to time.Now/time.Since and any call into math/rand or
+// math/rand/v2 (matching nodeterm: seeded randomness must come from
+// internal/gen), plus module functions whose flow summary says their
+// result derives from one of those. Sinks: writes to non-local state —
+// struct fields, map/slice elements, pointer targets, package-level
+// variables — and channel sends, inside the sim-scoped packages.
+type TimeTaint struct{}
+
+func (TimeTaint) Name() string { return "timetaint" }
+func (TimeTaint) Doc() string {
+	return "flag wall-clock/global-rand-derived values reaching simulation-state writes, across helper calls (interprocedural nodeterm)"
+}
+
+// timeTaintSource reports whether call is a root nondeterminism source.
+// Resolution is type-based: the callee must actually live in package
+// time (Now/Since) or math/rand(/v2).
+func timeTaintSource(info *types.Info, call *ast.CallExpr) bool {
+	fn := flow.CalleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		return fn.Name() == "Now" || fn.Name() == "Since"
+	case "math/rand", "math/rand/v2":
+		return true
+	}
+	return false
+}
+
+// taintSummaries builds (once per Run) the module-wide function
+// summaries that let taint cross call boundaries.
+func taintSummaries(mod *Module) *flow.Summaries {
+	return mod.Memoize("flow.taint.summaries", func() any {
+		pkgs := make([]flow.PkgSyntax, 0, len(mod.Pkgs))
+		for _, p := range mod.Pkgs {
+			pkgs = append(pkgs, flow.PkgSyntax{Files: p.Files, Info: p.Info})
+		}
+		return flow.Summarize(pkgs, timeTaintSource)
+	}).(*flow.Summaries)
+}
+
+func (a TimeTaint) Run(pass *Pass) {
+	inScope := false
+	for _, p := range simPathPrefixes {
+		if pass.ImportPath == p || strings.HasPrefix(pass.ImportPath, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || pass.Info == nil || pass.Mod == nil {
+		return
+	}
+	sums := taintSummaries(pass.Mod)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		// Each function body — declarations and literals — is analyzed
+		// on its own CFG. Closures see taint created inside themselves;
+		// taint captured from an enclosing function is approximated by
+		// the enclosing function's own analysis of the assignment sites.
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			a.checkBody(pass, sums, body)
+			return true
+		})
+	}
+}
+
+func (a TimeTaint) checkBody(pass *Pass, sums *flow.Summaries, body *ast.BlockStmt) {
+	an := &flow.Analysis{
+		Info:           pass.Info,
+		FreshCall:      func(call *ast.CallExpr) bool { return sums.FreshCall(pass.Info, call) },
+		CallPropagates: func(call *ast.CallExpr) bool { return sums.CallPropagates(pass.Info, call) },
+	}
+	res := an.Run(flow.Build(body))
+	res.Walk(func(n ast.Node, tainted func(ast.Expr) bool) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			a.checkAssign(pass, n, tainted)
+		case *ast.SendStmt:
+			if tainted(n.Value) {
+				pass.Report(n.Pos(),
+					"value derived from wall-clock time or global math/rand is sent into the simulation pipeline",
+					"derive the value from the seeded generator in internal/gen, or take it as a parameter from outside the simulation path")
+			}
+		}
+	})
+}
+
+func (a TimeTaint) checkAssign(pass *Pass, as *ast.AssignStmt, tainted func(ast.Expr) bool) {
+	report := func(lhs ast.Expr) {
+		pass.Report(lhs.Pos(),
+			"simulation state "+types.ExprString(lhs)+" is written with a value derived from wall-clock time or global math/rand (possibly through helper calls)",
+			"thread the value from the seeded generator in internal/gen, or model time by counting work units")
+	}
+	tupleTaint := len(as.Lhs) > 1 && len(as.Rhs) == 1 && tainted(as.Rhs[0])
+	for i, lhs := range as.Lhs {
+		if !a.isStateWrite(pass, lhs) {
+			continue
+		}
+		switch {
+		case tupleTaint:
+			report(lhs)
+		case i < len(as.Rhs) && tainted(as.Rhs[i]):
+			report(lhs)
+		}
+	}
+}
+
+// isStateWrite reports whether lhs stores outside the current function's
+// locals: a field, a map/slice element, a pointer target, or a
+// package-level variable.
+func (a TimeTaint) isStateWrite(pass *Pass, lhs ast.Expr) bool {
+	switch lhs := lhs.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return a.isStateWrite(pass, lhs.X)
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(lhs)
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil {
+			// Package-scope variables are shared simulation state.
+			return v.Parent() == v.Pkg().Scope()
+		}
+	}
+	return false
+}

@@ -13,6 +13,7 @@ package ndp
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/kernels"
@@ -220,12 +221,14 @@ func Catalog() []Device {
 }
 
 // Names lists the catalog device names ByName accepts (matched
-// case-insensitively).
+// case-insensitively), sorted — the same list the ByName error prints,
+// so the two cannot drift apart.
 func Names() []string {
 	names := make([]string, 0, 5)
 	for _, d := range Catalog() {
 		names = append(names, d.Name)
 	}
+	sort.Strings(names)
 	return names
 }
 

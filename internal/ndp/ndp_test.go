@@ -1,6 +1,7 @@
 package ndp
 
 import (
+	"sort"
 	"strings"
 	"testing"
 
@@ -177,5 +178,45 @@ func TestClassAndSupportStrings(t *testing.T) {
 	}
 	if Support(9).String() == "" {
 		t.Error("unknown support empty")
+	}
+}
+
+// TestCatalogNamesMatchByName pins the device registry: Names is the
+// sorted catalog, every listed (and case-folded) name resolves, and the
+// unknown-device error advertises exactly that list.
+func TestCatalogNamesMatchByName(t *testing.T) {
+	names := Names()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("Names() not sorted: %v", names)
+	}
+	if len(names) != len(Catalog()) {
+		t.Fatalf("Names() has %d entries, Catalog() has %d", len(names), len(Catalog()))
+	}
+	fromCatalog := make(map[string]bool)
+	for _, d := range Catalog() {
+		fromCatalog[d.Name] = true
+	}
+	for _, n := range names {
+		if !fromCatalog[n] {
+			t.Errorf("Names() lists %q, absent from Catalog()", n)
+		}
+		d, err := ByName(n)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", n, err)
+			continue
+		}
+		if d.Name != n {
+			t.Errorf("ByName(%q) returned device %q", n, d.Name)
+		}
+		if lower, err := ByName(strings.ToLower(n)); err != nil || lower.Name != n {
+			t.Errorf("case-insensitive lookup of %q failed: %v", n, err)
+		}
+	}
+	_, err := ByName("no-such-device")
+	if err == nil {
+		t.Fatal("unknown device accepted")
+	}
+	if want := strings.Join(names, ", "); !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not advertise the catalog list %q", err, want)
 	}
 }

@@ -1,0 +1,72 @@
+//go:build ignore
+
+// Baseline ratchet check: the committed lint baseline may only shrink.
+//
+//	go run scripts/baseline_shrink.go <old.json> <new.json>
+//
+// Exits 0 when every entry of new.json is already present in old.json
+// (multiset containment: a duplicated finding needs a duplicated entry),
+// 1 when new.json grew, 2 on usage/IO errors. check.sh feeds it the
+// HEAD revision of lint-baseline.json as old and the working copy as
+// new, so a change can silence fixed findings but never bless new ones
+// — new findings must be fixed or //lint:ignore'd with a reason.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+type entry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+func load(path string) ([]entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: baseline_shrink.go <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldEntries, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline_shrink:", err)
+		os.Exit(2)
+	}
+	newEntries, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "baseline_shrink:", err)
+		os.Exit(2)
+	}
+	budget := make(map[entry]int, len(oldEntries))
+	for _, e := range oldEntries {
+		budget[e]++
+	}
+	grew := false
+	for _, e := range newEntries {
+		if budget[e] > 0 {
+			budget[e]--
+			continue
+		}
+		grew = true
+		fmt.Fprintf(os.Stderr, "baseline_shrink: new baseline entry (fix the finding or suppress it with a reasoned //lint:ignore): %s %s: %s\n",
+			e.Rule, e.File, e.Message)
+	}
+	if grew {
+		os.Exit(1)
+	}
+	fmt.Printf("baseline_shrink: ok (%d -> %d entries)\n", len(oldEntries), len(newEntries))
+}

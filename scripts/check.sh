@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # check.sh — the single gate every change must pass before merging.
 #
-# Order is deliberate: cheap static stages first (build, vet, ndplint),
-# then the test tiers (plain, -race), then a short fuzz budget on the
-# graph-I/O parsers. Any stage failing fails the gate.
+# Order is deliberate: cheap static stages first (build, vet, ndplint
+# against the committed baseline, fix hygiene, baseline ratchet), then
+# the test tiers (plain, -race), then a short fuzz budget on the
+# graph-I/O parsers and the lint CFG builder. Any stage failing fails
+# the gate.
 #
 # Usage: scripts/check.sh [fuzz-seconds]
 #   fuzz-seconds  per-target fuzz budget (default 10; 0 skips fuzzing)
@@ -27,7 +29,33 @@ step() {
 
 step go build ./...
 step go vet ./...
-step go run ./cmd/ndplint ./...
+step go run ./cmd/ndplint -baseline lint-baseline.json ./...
+
+# Fix hygiene: every fixable finding must already be fixed in the tree,
+# so -fix -diff over the module produces no output. A non-empty diff
+# means someone committed code ndplint knows how to repair mechanically.
+echo
+echo "==> ndplint -fix -diff (must be empty)"
+fixdiff="$(go run ./cmd/ndplint -fix -diff -baseline lint-baseline.json ./...)"
+if [ -n "$fixdiff" ]; then
+    echo "$fixdiff"
+    echo "check.sh: outstanding mechanical fixes; run: go run ./cmd/ndplint -fix ./..." >&2
+    exit 1
+fi
+echo "(empty)"
+
+# Baseline ratchet: the committed baseline may shrink (findings fixed)
+# but never grow — new findings are fixed or //lint:ignore'd, not
+# baselined. Compared against the HEAD revision; skipped when HEAD has
+# no baseline yet (the commit introducing it).
+echo
+echo "==> baseline shrink-only check"
+if git show HEAD:lint-baseline.json > /tmp/lint-baseline.head.json 2>/dev/null; then
+    go run scripts/baseline_shrink.go /tmp/lint-baseline.head.json lint-baseline.json
+else
+    echo "(no baseline at HEAD; skipped)"
+fi
+
 step go test ./...
 
 # The cluster fault tests get a dedicated -race stage at -count=2: fault
@@ -43,6 +71,9 @@ if [ "$FUZZ_SECONDS" -gt 0 ]; then
     # fuzz engine refuses a pattern matching more than one target.
     step go test -run '^$' -fuzz '^FuzzReadEdgeList$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
     step go test -run '^$' -fuzz '^FuzzReadBinary$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
+    # The CFG builder underlies every dataflow analyzer; fuzz it on
+    # arbitrary function bodies so lint never panics on weird code.
+    step go test -run '^$' -fuzz '^FuzzBuildCFG$' -fuzztime "${FUZZ_SECONDS}s" ./internal/lint/flow/
 else
     echo
     echo "==> fuzzing skipped (budget 0)"
