@@ -16,6 +16,7 @@ package repro
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/gen"
@@ -234,4 +235,33 @@ func BenchmarkPartitionMultilevel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(g.NumEdges()), "edges")
+}
+
+// BenchmarkParallelSpeedup measures the deterministic parallel engine
+// against its own serial (Workers=1) path on the default 4-architecture
+// sweep shape — PageRank on the twitter7 stand-in, 16 partitions — and
+// reports the wall-clock speedup plus both runtimes. The two paths are
+// bit-identical (TestParallelMatchesSerial); this benchmark tracks how
+// much time the staged-reduction parallelism buys.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	g, topo, assign, k := benchEngineSetup(b, 16)
+	run := func(workers int) float64 {
+		start := time.Now()
+		e := &sim.DisaggregatedNDP{Topo: topo, Assign: assign, InNetworkAggregation: true, Workers: workers}
+		if _, err := e.Run(g, k); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	// Warm up shared structures (graph pages, assignment) once.
+	run(1)
+	b.ResetTimer()
+	var serial, parallel float64
+	for i := 0; i < b.N; i++ {
+		serial += run(1)
+		parallel += run(0)
+	}
+	b.ReportMetric(serial/float64(b.N)*1e3, "serial-ms")
+	b.ReportMetric(parallel/float64(b.N)*1e3, "parallel-ms")
+	b.ReportMetric(serial/parallel, "speedup")
 }

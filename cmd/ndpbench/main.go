@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"repro/internal/experiments"
@@ -34,8 +35,15 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV tables")
 	plot := flag.Bool("plot", false, "render ASCII series plots")
 	outdir := flag.String("outdir", "", "also write each artifact as <outdir>/<id>.csv plus <id>.notes.txt")
+	workers := flag.Int("workers", 0, "worker pool size for simulator + experiment fan-out (0 = all cores); results are identical for every setting")
 	flag.Usage = usage
 	flag.Parse()
+	if *workers > 0 {
+		// One knob caps both layers of parallelism: the experiment
+		// drivers' goroutine fan-out and each engine's worker pool size
+		// via GOMAXPROCS. Artifacts are bit-identical for every setting.
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	args := flag.Args()
 	if len(args) == 0 {

@@ -50,6 +50,7 @@ func main() {
 		cacheFrac   = flag.Float64("cache", 0, "host edge-cache fraction of the edge list (disaggregated only)")
 		swBuffer    = flag.Int64("switchbuffer", 0, "switch aggregation buffer entries (0 = unlimited)")
 		priters     = flag.Int("priters", 10, "PageRank iterations")
+		workers     = flag.Int("workers", 0, "simulator worker pool size (0 = GOMAXPROCS); results are identical for every setting")
 		perIter     = flag.Bool("iters", false, "print the per-iteration ledger")
 		csv         = flag.Bool("csv", false, "emit the summary as CSV")
 		iterCSV     = flag.String("itercsv", "", "write the per-iteration ledger as CSV to this file (single -arch only)")
@@ -120,7 +121,7 @@ func main() {
 			k.Name(), graphLabel(*datasetName, *graphFile), g.NumVertices(), g.NumEdges(), *partitions, p.Name(), pol.Name()),
 		"Architecture", "Iterations", "Moved", "Sync events", "Est time (ms)", "Energy (mJ)", "Offload OK")
 	for _, an := range archs {
-		e, err := makeEngine(an, topo, assign, pol, *aggregate, *cacheFrac, g)
+		e, err := makeEngine(an, topo, assign, pol, *aggregate, *cacheFrac, *workers, g)
 		if err != nil {
 			fatal(err)
 		}
@@ -317,17 +318,17 @@ func makePolicy(name string) (sim.OffloadPolicy, error) {
 	}
 }
 
-func makeEngine(arch string, topo sim.Topology, assign *partition.Assignment, pol sim.OffloadPolicy, aggregate bool, cacheFrac float64, g *graph.Graph) (sim.Engine, error) {
+func makeEngine(arch string, topo sim.Topology, assign *partition.Assignment, pol sim.OffloadPolicy, aggregate bool, cacheFrac float64, workers int, g *graph.Graph) (sim.Engine, error) {
 	switch arch {
 	case "distributed":
-		return &sim.Distributed{Topo: topo, Assign: assign}, nil
+		return &sim.Distributed{Topo: topo, Assign: assign, Workers: workers}, nil
 	case "distributed-ndp":
-		return &sim.DistributedNDP{Topo: topo, Assign: assign}, nil
+		return &sim.DistributedNDP{Topo: topo, Assign: assign, Workers: workers}, nil
 	case "disaggregated":
 		cache := int64(cacheFrac * float64(g.NumEdges()*kernels.EdgeBytes))
-		return &sim.Disaggregated{Topo: topo, Assign: assign, CacheBytes: cache}, nil
+		return &sim.Disaggregated{Topo: topo, Assign: assign, CacheBytes: cache, Workers: workers}, nil
 	case "disaggregated-ndp":
-		return &sim.DisaggregatedNDP{Topo: topo, Assign: assign, Policy: pol, InNetworkAggregation: aggregate}, nil
+		return &sim.DisaggregatedNDP{Topo: topo, Assign: assign, Policy: pol, InNetworkAggregation: aggregate, Workers: workers}, nil
 	default:
 		return nil, fmt.Errorf("unknown architecture %q", arch)
 	}

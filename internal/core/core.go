@@ -12,6 +12,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
@@ -65,6 +66,10 @@ type System struct {
 	partitioner partition.Partitioner
 	policy      sim.OffloadPolicy
 	aggregation bool
+	// aggregationSet records an explicit WithAggregation so Compare can
+	// tell a user choice apart from the per-arch default.
+	aggregationSet bool
+	workers        int
 
 	// Concurrent-cluster knobs (package cluster); they flow into one
 	// validated cluster.Config — see ClusterConfig.
@@ -103,9 +108,20 @@ func WithPolicy(p sim.OffloadPolicy) Option {
 }
 
 // WithAggregation toggles in-network aggregation (default on for
-// DisaggregatedNDP).
+// DisaggregatedNDP). Setting it explicitly also pins the choice for
+// every architecture Compare clones.
 func WithAggregation(enabled bool) Option {
-	return func(s *System) { s.aggregation = enabled }
+	return func(s *System) {
+		s.aggregation = enabled
+		s.aggregationSet = true
+	}
+}
+
+// WithWorkers caps the analytical simulator's worker pool (default 0 =
+// GOMAXPROCS). Purely a speed knob: every setting, including 1, produces
+// bit-identical runs.
+func WithWorkers(n int) Option {
+	return func(s *System) { s.workers = n }
 }
 
 // WithTreeFanIn selects the concurrent cluster's switch topology: >= 2
@@ -174,16 +190,17 @@ func (s *System) Partition(g *graph.Graph) (*partition.Assignment, error) {
 func (s *System) engine(assign *partition.Assignment) sim.Engine {
 	switch s.arch {
 	case Distributed:
-		return &sim.Distributed{Topo: s.topo, Assign: assign}
+		return &sim.Distributed{Topo: s.topo, Assign: assign, Workers: s.workers}
 	case DistributedNDP:
-		return &sim.DistributedNDP{Topo: s.topo, Assign: assign}
+		return &sim.DistributedNDP{Topo: s.topo, Assign: assign, Workers: s.workers}
 	case Disaggregated:
-		return &sim.Disaggregated{Topo: s.topo, Assign: assign}
+		return &sim.Disaggregated{Topo: s.topo, Assign: assign, Workers: s.workers}
 	default:
 		return &sim.DisaggregatedNDP{
 			Topo: s.topo, Assign: assign,
 			Policy:               s.policy,
 			InNetworkAggregation: s.aggregation,
+			Workers:              s.workers,
 		}
 	}
 }
@@ -242,21 +259,52 @@ func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel) (*cluster.Outco
 // Compare runs the kernel on all four architectures with this system's
 // topology and partitioner, returning runs in Table II order. All runs
 // share one partition assignment, so the comparison isolates the
-// architecture.
+// architecture. The four runs execute concurrently; results land in
+// their Table II slots regardless of completion order, and unless
+// WithAggregation pinned a choice each clone re-derives the per-arch
+// aggregation default (so the rows match fresh per-arch New systems no
+// matter which architecture the base was built as).
 func (s *System) Compare(g *graph.Graph, k kernels.Kernel) ([]*sim.Run, error) {
 	assign, err := s.Partition(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning: %w", err)
 	}
-	runs := make([]*sim.Run, 0, 4)
-	for _, arch := range Architectures() {
+	archs := Architectures()
+	runs := make([]*sim.Run, len(archs))
+	errs := make([]error, len(archs))
+	// Stateful kernels hold per-run side state in the kernel value itself,
+	// so their four runs must not overlap; stateless kernels fan out.
+	_, stateful := k.(kernels.StatefulKernel)
+	var wg sync.WaitGroup
+	for i, arch := range archs {
 		clone := *s
 		clone.arch = arch
-		run, err := clone.RunWithAssignment(g, k, assign)
-		if err != nil {
-			return nil, fmt.Errorf("core: %s: %w", arch, err)
+		if !s.aggregationSet {
+			clone.aggregation = arch == DisaggregatedNDP
 		}
-		runs = append(runs, run)
+		one := func(i int, arch Arch, clone System) {
+			run, err := clone.RunWithAssignment(g, k, assign)
+			if err != nil {
+				errs[i] = fmt.Errorf("core: %s: %w", arch, err)
+				return
+			}
+			runs[i] = run
+		}
+		if stateful {
+			one(i, arch, clone)
+			continue
+		}
+		wg.Add(1)
+		go func(i int, arch Arch, clone System) {
+			defer wg.Done()
+			one(i, arch, clone)
+		}(i, arch, clone)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return runs, nil
 }

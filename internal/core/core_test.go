@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -264,5 +265,105 @@ func TestRunConcurrentRejectsOtherArchitectures(t *testing.T) {
 	}
 	if _, err := s.RunConcurrent(g, kernels.NewBFS(0)); err == nil {
 		t.Error("accepted concurrent execution of the distributed architecture")
+	}
+}
+
+// TestCompareMatchesFreshSystems is the regression test for the clone
+// bug: Compare's rows must be identical to running each architecture on
+// a fresh per-arch New system (same topology, partitioner, and shared
+// assignment), no matter which architecture the base system was built
+// as. Before the fix, a non-DisaggregatedNDP base leaked aggregation=
+// false into the DisaggregatedNDP clone and its row silently ran
+// without in-network aggregation.
+func TestCompareMatchesFreshSystems(t *testing.T) {
+	g := coreGraph(t)
+	k := kernels.NewPageRank(5, 0.85)
+	for _, baseArch := range Architectures() {
+		base, err := New(baseArch, WithMemoryNodes(8), WithPartitioner(partition.Hash{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assign, err := base.Partition(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs, err := base.Compare(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, arch := range Architectures() {
+			fresh, err := New(arch, WithMemoryNodes(8), WithPartitioner(partition.Hash{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.RunWithAssignment(g, k, assign)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runs[i]
+			if got.Engine != want.Engine {
+				t.Fatalf("base %s: row %d engine %q, fresh %s system produced %q",
+					baseArch, i, got.Engine, arch, want.Engine)
+			}
+			if !reflect.DeepEqual(got.Records, want.Records) {
+				t.Errorf("base %s: %s row records differ from a fresh %s system",
+					baseArch, got.Engine, arch)
+			}
+			if got.TotalDataMovementBytes != want.TotalDataMovementBytes {
+				t.Errorf("base %s: %s row moved %d bytes, fresh system %d",
+					baseArch, got.Engine, got.TotalDataMovementBytes, want.TotalDataMovementBytes)
+			}
+		}
+	}
+}
+
+// TestCompareHonorsExplicitAggregation pins the other side of the fix:
+// an explicit WithAggregation(false) must stick for the Compare clone
+// rather than being overwritten by the per-arch default.
+func TestCompareHonorsExplicitAggregation(t *testing.T) {
+	g := coreGraph(t)
+	k := kernels.NewPageRank(5, 0.85)
+	s, err := New(Distributed, WithMemoryNodes(8), WithPartitioner(partition.Hash{}), WithAggregation(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Compare(g, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs[3].Engine; got != "disaggregated-ndp" {
+		t.Fatalf("explicit WithAggregation(false) ignored: row engine %q", got)
+	}
+}
+
+// TestCompareParallelStatefulKernel drives Compare with a stateful
+// kernel (per-run side state lives in the kernel value): the rows must
+// still match fresh per-arch systems, which forces the sequential path.
+func TestCompareParallelStatefulKernel(t *testing.T) {
+	g := coreGraph(t)
+	s, err := New(Disaggregated, WithMemoryNodes(8), WithPartitioner(partition.Hash{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := s.Partition(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.Compare(g, kernels.NewPageRankDelta(0.85, 1e-7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, arch := range Architectures() {
+		fresh, err := New(arch, WithMemoryNodes(8), WithPartitioner(partition.Hash{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.RunWithAssignment(g, kernels.NewPageRankDelta(0.85, 1e-7), assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(runs[i].Records, want.Records) {
+			t.Errorf("stateful kernel: %s row differs from fresh system", runs[i].Engine)
+		}
 	}
 }

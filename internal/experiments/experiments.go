@@ -9,6 +9,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -152,4 +153,28 @@ func ratio(a, b int64) float64 {
 		return 0
 	}
 	return float64(a) / float64(b)
+}
+
+// forEach runs fn(0..n-1) concurrently and returns the lowest-index
+// error. Each fn writes only its own slice slots, so callers fold the
+// results in index order afterwards — artifact rows and series stay in
+// their fixed (Table II / sweep) order no matter which goroutine
+// finishes first.
+func forEach(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

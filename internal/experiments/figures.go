@@ -108,24 +108,36 @@ func Fig5(cfg Config) (*Artifact, error) {
 	noSeries.Name = "no-offload"
 	offSeries.Name = "ndp-offload"
 
-	for _, ds := range gen.Datasets() {
-		g, err := dataset(cfg, ds)
+	// Datasets are independent: generate, partition, and run them
+	// concurrently, then fold rows/series/notes in dataset order.
+	dss := gen.Datasets()
+	type fig5Point struct{ noBytes, offBytes int64 }
+	points5 := make([]fig5Point, len(dss))
+	if err := forEach(len(dss), func(i int) error {
+		g, err := dataset(cfg, dss[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		assign, topo, err := partitioned(cfg, g, parts, partition.Hash{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		k := kernels.NewPageRank(cfg.PageRankIterations, kernels.DefaultDamping)
 		noBytes, _, err := movement(&sim.Disaggregated{Topo: topo, Assign: assign}, g, k)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		offBytes, _, err := movement(&sim.DisaggregatedNDP{Topo: topo, Assign: assign}, g, k)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		points5[i] = fig5Point{noBytes, offBytes}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	for i, ds := range dss {
+		noBytes, offBytes := points5[i].noBytes, points5[i].offBytes
 		t.AddRow(ds.Name, float64(noBytes)/1e6, float64(offBytes)/1e6, ratio(offBytes, noBytes))
 		noSeries.Values = append(noSeries.Values, float64(noBytes)/1e6)
 		offSeries.Values = append(offSeries.Values, float64(offBytes)/1e6)
@@ -169,29 +181,40 @@ func Fig6(cfg Config) (*Artifact, error) {
 	series := []metrics.Series{
 		{Name: "no-ndp"}, {Name: "ndp-hash"}, {Name: "ndp-mincut"}, {Name: "ndp-mincut+inc"},
 	}
-	var last [4]int64
-	for _, parts := range sweep {
+	// Sweep points are independent: partition and run each width
+	// concurrently, then fold rows/series in sweep order.
+	allVals := make([][4]int64, len(sweep))
+	if err := forEach(len(sweep), func(si int) error {
+		parts := sweep[si]
 		hashA, topo, err := partitioned(cfg, g, parts, partition.Hash{})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cutA, _, err := partitioned(cfg, g, parts, partition.Multilevel{Seed: cfg.Seed})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vals := [4]int64{}
 		if vals[0], _, err = movement(&sim.Disaggregated{Topo: topo, Assign: hashA}, g, k); err != nil {
-			return nil, err
+			return err
 		}
 		if vals[1], _, err = movement(&sim.DisaggregatedNDP{Topo: topo, Assign: hashA}, g, k); err != nil {
-			return nil, err
+			return err
 		}
 		if vals[2], _, err = movement(&sim.DisaggregatedNDP{Topo: topo, Assign: cutA}, g, k); err != nil {
-			return nil, err
+			return err
 		}
 		if vals[3], _, err = movement(&sim.DisaggregatedNDP{Topo: topo, Assign: cutA, InNetworkAggregation: true}, g, k); err != nil {
-			return nil, err
+			return err
 		}
+		allVals[si] = vals
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	var last [4]int64
+	for si, parts := range sweep {
+		vals := allVals[si]
 		t.AddRow(parts, float64(vals[0])/1e6, float64(vals[1])/1e6, float64(vals[2])/1e6, float64(vals[3])/1e6)
 		for i := range series {
 			series[i].Values = append(series[i].Values, float64(vals[i])/1e6)
@@ -249,15 +272,25 @@ func fig7(cfg Config, id, panel string, ds gen.Dataset, mk func(Config) kernels.
 	if err != nil {
 		return nil, err
 	}
-	k := mk(cfg)
-	noRun, err := (&sim.Disaggregated{Topo: topo, Assign: assign}).Run(g, k)
-	if err != nil {
+	// The two panel runs are independent; each gets its own kernel
+	// instance so stateful kernels never share per-run state.
+	eng := []sim.Engine{
+		&sim.Disaggregated{Topo: topo, Assign: assign},
+		&sim.DisaggregatedNDP{Topo: topo, Assign: assign},
+	}
+	ks := []kernels.Kernel{mk(cfg), mk(cfg)}
+	runs := make([]*sim.Run, 2)
+	if err := forEach(2, func(i int) error {
+		run, err := eng[i].Run(g, ks[i])
+		if err != nil {
+			return err
+		}
+		runs[i] = run
+		return nil
+	}); err != nil {
 		return nil, err
 	}
-	ndpRun, err := (&sim.DisaggregatedNDP{Topo: topo, Assign: assign}).Run(g, k)
-	if err != nil {
-		return nil, err
-	}
+	noRun, ndpRun := runs[0], runs[1]
 	t := metrics.NewTable(a.Title, "Iteration", "Frontier", "Active edges", "No NDP (KB)", "NDP (KB)", "NDP wins")
 	var noS, ndpS metrics.Series
 	noS.Name, ndpS.Name = "no-ndp", "ndp"

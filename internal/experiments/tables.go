@@ -98,14 +98,16 @@ func Table2(cfg Config) (*Artifact, error) {
 		{&sim.DisaggregatedNDP{Topo: topo, Assign: assign, InNetworkAggregation: true}, true, true,
 			float64(topo.ComputeNodes)*topo.HostGFlops + float64(parts)*topo.MemDeviceGFlops},
 	}
-	rows := make([]table2Row, 0, len(engines))
-	minComm, minSync := int64(1)<<62, int64(1)<<62
-	for _, spec := range engines {
+	// The four architectures run concurrently; rows fill their Table II
+	// slots by index, so ordering never depends on completion order.
+	rows := make([]table2Row, len(engines))
+	if err := forEach(len(engines), func(i int) error {
+		spec := engines[i]
 		run, err := spec.e.Run(g, k)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r := table2Row{
+		rows[i] = table2Row{
 			name:        run.Engine,
 			nearMem:     spec.nearMem,
 			commBytes:   run.TotalDataMovementBytes,
@@ -114,7 +116,12 @@ func Table2(cfg Config) (*Artifact, error) {
 			balanced:    spec.balanced,
 			computeUtil: computeUtilization(run, k.Traits(), spec.provisionedGFlops),
 		}
-		rows = append(rows, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	minComm, minSync := int64(1)<<62, int64(1)<<62
+	for _, r := range rows {
 		if r.commBytes < minComm {
 			minComm = r.commBytes
 		}

@@ -166,3 +166,39 @@ func TestMixedPolicyNames(t *testing.T) {
 		t.Error("partition-heuristic name")
 	}
 }
+
+// TestDecidePartitionsDegenerate pins the per-partition heuristic on
+// degenerate per-node views: empty nodes and an all-empty frontier never
+// offload, and the mask length always matches the input.
+func TestDecidePartitionsDegenerate(t *testing.T) {
+	h := PartitionHeuristic{}
+	s := sim.PreStats{Partitions: 4, NumVertices: 0}
+
+	// All-empty frontier: every node idles.
+	parts := make([]sim.PartPre, 4)
+	mask := h.DecidePartitions(s, parts)
+	if len(mask) != 4 {
+		t.Fatalf("mask length %d, want 4", len(mask))
+	}
+	for p, off := range mask {
+		if off {
+			t.Errorf("empty node %d chose offload", p)
+		}
+	}
+
+	// One busy high-degree node among idle ones: only it may offload, and
+	// a zero StaticPartialUpdates (unpartitioned statistic) must not
+	// produce NaN — the estimate falls back to the degree sum itself.
+	parts[2] = sim.PartPre{FrontierSize: 4, FrontierDegreeSum: 4000}
+	mask = h.DecidePartitions(s, parts)
+	for p, off := range mask {
+		if p != 2 && off {
+			t.Errorf("idle node %d chose offload", p)
+		}
+	}
+
+	// Zero-length input: no panic, empty mask.
+	if got := h.DecidePartitions(s, nil); len(got) != 0 {
+		t.Errorf("nil parts produced mask of length %d", len(got))
+	}
+}

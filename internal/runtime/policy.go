@@ -79,8 +79,15 @@ func (h Heuristic) estimatePartials(s sim.PreStats) float64 {
 	d := float64(s.FrontierDegreeSum)
 	n := float64(s.NumVertices)
 	p := float64(s.Partitions)
-	if d == 0 || n == 0 || p == 0 {
+	if d == 0 {
 		return 0
+	}
+	if n == 0 || p == 0 {
+		// Degenerate stats (no pool width / vertex count reported): the
+		// collapse models below would divide by zero. Returning 0 here
+		// would make offload look free; the safe degenerate estimate is
+		// the no-dedup upper bound — every scatter its own partial.
+		return d
 	}
 	var model float64
 	if S := float64(s.StaticPartialUpdates); S > 0 {
@@ -136,6 +143,11 @@ func (t ThresholdPolicy) Decide(s sim.PreStats) bool {
 	}
 	th := t.Threshold
 	if th <= 0 {
+		if s.Partitions <= 0 {
+			// Degenerate topology: no memory pool to offload to, and the
+			// derived threshold would collapse to 0 ("always offload").
+			return false
+		}
 		th = 2 * float64(s.Partitions)
 	}
 	avgDeg := float64(s.FrontierDegreeSum) / float64(s.FrontierSize)

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/gen"
@@ -235,5 +236,55 @@ func TestBiasShiftsDecisions(t *testing.T) {
 	conservative := count(4.0)
 	if aggressive < conservative {
 		t.Errorf("lower bias should offload at least as often: %d < %d", aggressive, conservative)
+	}
+}
+
+// TestPoliciesOnDegenerateStats pins every offload policy's decision on
+// the degenerate PreStats shapes an engine can legally produce — an
+// empty frontier, a zero-width pool, no previous iteration, a previous
+// iteration with zero active edges — and asserts no NaN sneaks into the
+// byte estimates. A policy must degrade to "don't offload" (or a finite
+// estimate), never divide by zero.
+func TestPoliciesOnDegenerateStats(t *testing.T) {
+	empty := sim.PreStats{Partitions: 8, NumVertices: 100}
+	noPool := sim.PreStats{FrontierSize: 10, FrontierDegreeSum: 50, NumVertices: 100}
+	noVertices := sim.PreStats{FrontierSize: 10, FrontierDegreeSum: 50, Partitions: 8}
+	idlePrev := sim.PreStats{
+		FrontierSize: 10, FrontierDegreeSum: 50, Partitions: 8, NumVertices: 100,
+		Prev: &sim.Record{ActiveEdges: 0, PartialUpdates: 0},
+	}
+	cases := []struct {
+		name   string
+		policy sim.OffloadPolicy
+		stats  sim.PreStats
+		want   bool
+	}{
+		{"heuristic empty frontier", Heuristic{}, empty, false},
+		{"heuristic zero partitions", Heuristic{}, noPool, false},
+		{"heuristic zero vertices", Heuristic{}, noVertices, false},
+		{"heuristic+inc empty frontier", Heuristic{Aggregation: true}, empty, false},
+		// The blend guard: a previous record with zero active edges must
+		// be skipped (its observed ratio is 0/0), leaving the analytic
+		// model's answer — here a no-offload frontier.
+		{"heuristic blend with idle prev", Heuristic{BlendWeight: 0.5}, idlePrev, false},
+		{"threshold empty frontier", ThresholdPolicy{}, empty, false},
+		{"threshold zero partitions", ThresholdPolicy{}, noPool, false},
+		{"threshold explicit beats zero partitions", ThresholdPolicy{Threshold: 3}, noPool, true},
+		{"partition-heuristic empty frontier", PartitionHeuristic{}, empty, false},
+		{"partition-heuristic zero partitions", PartitionHeuristic{}, noPool, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.policy.Decide(tc.stats); got != tc.want {
+				t.Errorf("Decide(%+v) = %v, want %v", tc.stats, got, tc.want)
+			}
+		})
+	}
+	for _, st := range []sim.PreStats{empty, noPool, noVertices, idlePrev} {
+		for _, h := range []Heuristic{{}, {Aggregation: true}, {BlendWeight: 0.7}} {
+			if est := h.EstimateOffloadBytes(st); math.IsNaN(est) || math.IsInf(est, 0) || est < 0 {
+				t.Errorf("%s: EstimateOffloadBytes(%+v) = %v, want finite non-negative", h.Name(), st, est)
+			}
+		}
 	}
 }

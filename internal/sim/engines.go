@@ -46,6 +46,9 @@ type Disaggregated struct {
 	// the hosts, greedily by degree until the budget is exhausted, and
 	// their traversals cost no interconnect bytes. 0 disables the cache.
 	CacheBytes int64
+	// Workers caps the simulator's worker pool (0 = GOMAXPROCS). Results
+	// are bit-identical for every setting.
+	Workers int
 }
 
 // Name implements Engine.
@@ -103,6 +106,7 @@ func (d *Disaggregated) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.workers = d.Workers
 	ex.cached = cacheMask(g, d.CacheBytes)
 	run, err := ex.run(d.Name())
 	if err != nil {
@@ -137,6 +141,9 @@ type DisaggregatedNDP struct {
 	Policy OffloadPolicy
 	// InNetworkAggregation enables switch aggregation of partial updates.
 	InNetworkAggregation bool
+	// Workers caps the simulator's worker pool (0 = GOMAXPROCS). Results
+	// are bit-identical for every setting.
+	Workers int
 }
 
 // Name implements Engine.
@@ -275,6 +282,7 @@ func (d *DisaggregatedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.workers = d.Workers
 	ex.computeStaticPartials()
 	run, err := ex.run(d.Name())
 	if err != nil {
@@ -300,6 +308,9 @@ func (d *DisaggregatedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 type Distributed struct {
 	Topo   Topology
 	Assign *partition.Assignment
+	// Workers caps the simulator's worker pool (0 = GOMAXPROCS). Results
+	// are bit-identical for every setting.
+	Workers int
 }
 
 // Name implements Engine.
@@ -307,7 +318,7 @@ func (d *Distributed) Name() string { return "distributed" }
 
 // Run implements Engine.
 func (d *Distributed) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
-	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), false)
+	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), false, d.Workers)
 }
 
 // DistributedNDP models GraphQ-style PIM clusters: the same partitioning
@@ -322,6 +333,9 @@ type DistributedNDP struct {
 	// OverlapFraction is the fraction of communication hidden behind
 	// computation (default 0.7).
 	OverlapFraction float64
+	// Workers caps the simulator's worker pool (0 = GOMAXPROCS). Results
+	// are bit-identical for every setting.
+	Workers int
 }
 
 // Name implements Engine.
@@ -336,12 +350,12 @@ func (d *DistributedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if overlap > 1 {
 		overlap = 1
 	}
-	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), true, overlap)
+	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), true, d.Workers, overlap)
 }
 
 // runDistributed is the shared implementation of the two distributed
 // engines; ndp selects near-memory traversal and overlap.
-func runDistributed(topo Topology, assign *partition.Assignment, g *graph.Graph, k kernels.Kernel, name string, ndpMode bool, overlapOpt ...float64) (*Run, error) {
+func runDistributed(topo Topology, assign *partition.Assignment, g *graph.Graph, k kernels.Kernel, name string, ndpMode bool, workers int, overlapOpt ...float64) (*Run, error) {
 	if err := checkEngineInputs(topo, assign, g); err != nil {
 		return nil, err
 	}
@@ -392,6 +406,7 @@ func runDistributed(topo Topology, assign *partition.Assignment, g *graph.Graph,
 	if err != nil {
 		return nil, err
 	}
+	ex.workers = workers
 	ex.computeMirrorCounts()
 	run, err := ex.run(name)
 	if err != nil {

@@ -2,6 +2,9 @@ package sim
 
 import (
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/kernels"
@@ -98,9 +101,10 @@ func (NeverOffload) Name() string { return "never" }
 func (NeverOffload) Decide(PreStats) bool { return false }
 
 // execution is the shared scatter/aggregate/apply machine. It reproduces
-// kernels.RunSerial semantics exactly (same iteration order, same
-// floating-point operation order) while additionally tracking the
-// partitioned counters every architecture's accounting needs.
+// kernels.RunSerial semantics (same iteration structure; float sums are
+// reassociated only by the fixed partition-staged reduction below) while
+// additionally tracking the partitioned counters every architecture's
+// accounting needs.
 type execution struct {
 	g      *graph.Graph
 	k      kernels.Kernel
@@ -110,6 +114,10 @@ type execution struct {
 	account func(rec *Record)
 	// policy is consulted pre-iteration; nil means AlwaysOffload.
 	policy OffloadPolicy
+	// workers caps the host-side worker pool (0 = GOMAXPROCS). Purely an
+	// execution knob: every setting, including the serial workers=1 path,
+	// produces bit-identical Records and values.
+	workers int
 
 	// static per-vertex mirror counts (distributed broadcast volume).
 	mirrorCount []int32
@@ -202,14 +210,155 @@ func (e *execution) computeMirrorCounts() {
 	}
 }
 
+// workerCount resolves the worker knob: 0 (the default) takes GOMAXPROCS,
+// and the pool never exceeds the partition count because partitions are
+// the unit of traversal sharding.
+func (e *execution) workerCount() int {
+	w := e.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > e.assign.K {
+		w = e.assign.K
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// fanOut runs task(worker, i) for every i in [0, n) on a pool of workers.
+// Items are claimed dynamically off an atomic cursor, which balances
+// skewed partitions; determinism is unaffected because each task writes
+// only its own slots and the single-threaded merges in run fold those
+// slots in fixed index order. workers==1 degrades to a plain serial loop.
+func fanOut(workers, n int, task func(worker, i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(0, i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// update is one staged partial: the sub-aggregate a single memory node
+// produced for one destination this iteration.
+type update struct {
+	dst graph.VertexID
+	val float64
+}
+
+// partTally is one partition's traversal-phase counters, accumulated
+// privately by the worker that claims the partition and folded into the
+// Record in fixed partition order.
+type partTally struct {
+	activeEdges int64
+	crossEdges  int64
+	edgeBytes   int64
+	cachedBytes int64
+	remote      int64
+	ops         float64
+}
+
+// traverseScratch is one worker's dense per-destination index: stamp
+// dedupes (destination, partition) pairs and slot locates the partial's
+// position in the partition's compact update list. Stamps are keyed by
+// iteration*P+partition — unique per (iteration, partition) — so one
+// scratch serves every partition the worker claims without clearing.
+type traverseScratch struct {
+	stamp []int64
+	slot  []int32
+}
+
+// traversePartition runs one memory node's share of the scatter phase: it
+// walks the partition's frontier bucket in order, producing the
+// partition's compact staged-partial list (aggregated within the
+// partition in edge order) and its counter tally. It reads shared state
+// but writes only its own outputs, so partitions can run on any worker in
+// any order without changing a single bit of the merged result.
+func (e *execution) traversePartition(p, iter int, s *traverseScratch, front []graph.VertexID, values []float64, tr kernels.Traits, out *[]update, tally *partTally) {
+	g, k := e.g, e.k
+	parts := e.assign.Parts
+	partKey := int64(iter)*int64(e.assign.K) + int64(p)
+	p32 := int32(p)
+	wts := g.Weights()
+	list := (*out)[:0]
+	var t partTally
+	for _, v := range front {
+		deg := g.OutDegree(v)
+		t.activeEdges += deg
+		t.edgeBytes += deg * kernels.EdgeBytes
+		t.ops += float64(deg) * tr.FLOPsPerEdge
+		if e.cached != nil && e.cached[v] {
+			t.cachedBytes += deg * kernels.EdgeBytes
+		}
+		lo, hi := g.EdgeRange(v)
+		nbrs := g.Edges()[lo:hi]
+		for i, dst := range nbrs {
+			remote := parts[dst] != p32
+			if remote {
+				t.crossEdges++
+			}
+			w := float32(1)
+			if wts != nil {
+				w = wts[lo+int64(i)]
+			}
+			u, ok := k.Scatter(kernels.EdgeContext{
+				Src: v, Dst: dst, SrcValue: values[v], Weight: w, SrcOutDegree: deg,
+			})
+			if !ok {
+				continue
+			}
+			if s.stamp[dst] == partKey {
+				at := s.slot[dst]
+				list[at].val = k.Aggregate(list[at].val, u)
+			} else {
+				s.stamp[dst] = partKey
+				s.slot[dst] = int32(len(list))
+				if remote {
+					t.remote++
+				}
+				list = append(list, update{dst: dst, val: u})
+			}
+		}
+	}
+	*out = list
+	*tally = t
+}
+
 // run executes the kernel to completion, producing a Run with one Record
 // per iteration.
+//
+// The scatter/aggregate machine is partition-parallel with a fixed
+// reduction tree: each partition's traversal produces a compact list of
+// staged partials, and the lists merge into the global accumulator in
+// partition order 0..P-1 (the same staged-reduction discipline as
+// internal/cluster). The tree depends only on the partition assignment —
+// never on the worker count or goroutine schedule — so every Workers
+// setting, including the serial Workers=1 path, is bit-identical.
 func (e *execution) run(engineName string) (*Run, error) {
 	g, k := e.g, e.k
 	n := g.NumVertices()
 	tr := k.Traits()
 	parts := e.assign.Parts
 	P := e.assign.K
+	W := e.workerCount()
 
 	values := make([]float64, n)
 	for v := 0; v < n; v++ {
@@ -231,23 +380,29 @@ func (e *execution) run(engineName string) (*Run, error) {
 	has := make([]bool, n)
 	identity := k.Identity()
 
-	// Stamp arrays for distinct-count tracking. partStamp[v] holds the
-	// last (iteration, partition) key that touched v; iterStamp[v] the
-	// last iteration. The traversal walks the frontier one partition at a
-	// time — exactly as the memory nodes would — so (iteration,
-	// partition) keys are monotone and a single stamp per destination
-	// dedupes (dst, partition) pairs correctly.
-	partStamp := make([]int64, n)
-	iterStamp := make([]int64, n)
-	for i := range partStamp {
-		partStamp[i] = -1
-		iterStamp[i] = -1
+	scratch := make([]*traverseScratch, W)
+	for w := range scratch {
+		s := &traverseScratch{stamp: make([]int64, n), slot: make([]int32, n)}
+		for i := range s.stamp {
+			s.stamp[i] = -1
+		}
+		scratch[w] = s
 	}
+	partUpd := make([][]update, P)
+	tallies := make([]partTally, P)
 	bytesPerPart := make([]int64, P)
 	opsPerPart := make([]float64, P)
 	partialsPerPart := make([]int64, P)
 	degSumPerPart := make([]int64, P)
 	partFrontier := make([][]graph.VertexID, P)
+
+	// Apply-phase chunk grid: P contiguous vertex ranges, fixed per run,
+	// so the residual reduction tree is independent of the worker count.
+	chunkLo := func(c int) int { return n * c / P }
+	residualPerChunk := make([]float64, P)
+	appliesPerChunk := make([]int64, P)
+	activatedPerChunk := make([][]graph.VertexID, P)
+
 	partPolicy, hasPartPolicy := e.policy.(PartitionPolicy)
 
 	var prev *Record
@@ -303,59 +458,33 @@ func (e *execution) run(engineName string) (*Run, error) {
 			agg[i] = identity
 			has[i] = false
 		}
-		for p := 0; p < P; p++ {
-			bytesPerPart[p] = 0
-			opsPerPart[p] = 0
-			partialsPerPart[p] = 0
-		}
 
-		// Traversal phase, one partition (memory node) at a time.
-		wts := g.Weights()
+		// Traversal phase: partitions (memory nodes) fan out across the
+		// worker pool, each producing a private staged-partial list.
+		fanOut(W, P, func(w, p int) {
+			e.traversePartition(p, iter, scratch[w], partFrontier[p], values, tr, &partUpd[p], &tallies[p])
+		})
+
+		// Ordered merge: fold every partition's staged partials and
+		// counters into the Record in partition order 0..P-1 — the fixed
+		// reduction tree that keeps parallel sums bit-identical.
 		for p := 0; p < P; p++ {
-			partKey := int64(iter)*int64(P) + int64(p)
-			p32 := int32(p)
-			for _, v := range partFrontier[p] {
-				deg := g.OutDegree(v)
-				rec.ActiveEdges += deg
-				bytesPerPart[p] += deg * kernels.EdgeBytes
-				opsPerPart[p] += float64(deg) * tr.FLOPsPerEdge
-				if e.cached != nil && e.cached[v] {
-					rec.CachedEdgeBytes += deg * kernels.EdgeBytes
-				}
-				lo, hi := g.EdgeRange(v)
-				nbrs := g.Edges()[lo:hi]
-				for i, dst := range nbrs {
-					if parts[dst] != p32 {
-						rec.CrossEdges++
-					}
-					w := float32(1)
-					if wts != nil {
-						w = wts[lo+int64(i)]
-					}
-					u, ok := k.Scatter(kernels.EdgeContext{
-						Src: v, Dst: dst, SrcValue: values[v], Weight: w, SrcOutDegree: deg,
-					})
-					if !ok {
-						continue
-					}
-					if has[dst] {
-						agg[dst] = k.Aggregate(agg[dst], u)
-					} else {
-						agg[dst] = u
-						has[dst] = true
-					}
-					if partStamp[dst] != partKey {
-						partStamp[dst] = partKey
-						rec.PartialUpdates++
-						partialsPerPart[p]++
-						if parts[dst] != p32 {
-							rec.RemotePartialUpdates++
-						}
-					}
-					if iterStamp[dst] != int64(iter) {
-						iterStamp[dst] = int64(iter)
-						rec.DistinctDsts++
-					}
+			ta := &tallies[p]
+			rec.ActiveEdges += ta.activeEdges
+			rec.CrossEdges += ta.crossEdges
+			rec.CachedEdgeBytes += ta.cachedBytes
+			rec.RemotePartialUpdates += ta.remote
+			bytesPerPart[p] = ta.edgeBytes
+			opsPerPart[p] = ta.ops
+			partialsPerPart[p] = int64(len(partUpd[p]))
+			rec.PartialUpdates += partialsPerPart[p]
+			for _, u := range partUpd[p] {
+				if has[u.dst] {
+					agg[u.dst] = k.Aggregate(agg[u.dst], u.val)
+				} else {
+					agg[u.dst] = u.val
+					has[u.dst] = true
+					rec.DistinctDsts++
 				}
 			}
 		}
@@ -369,17 +498,51 @@ func (e *execution) run(engineName string) (*Run, error) {
 			frontier.ForEach(sk.OnScattered)
 		}
 
-		// Update phase.
+		// Update phase: disjoint chunk ranges, no write contention. Each
+		// chunk's residual, apply count, and activations land in its own
+		// slot; the fold below runs in chunk order, so the next frontier's
+		// activation order (ascending vertex id) and the residual's
+		// reduction tree match the serial path exactly.
 		next := kernels.NewFrontier(n)
+		fanOut(W, P, func(_, c int) {
+			lo, hi := chunkLo(c), chunkLo(c+1)
+			act := activatedPerChunk[c][:0]
+			var residual float64
+			var applied int64
+			if tr.AllVerticesActive {
+				for v := lo; v < hi; v++ {
+					nv, _ := k.Apply(g, graph.VertexID(v), values[v], agg[v], has[v])
+					residual += math.Abs(nv - values[v])
+					values[v] = nv
+				}
+				applied = int64(hi - lo)
+			} else {
+				for v := lo; v < hi; v++ {
+					if !has[v] {
+						continue
+					}
+					applied++
+					nv, activate := k.Apply(g, graph.VertexID(v), values[v], agg[v], true)
+					values[v] = nv
+					if activate {
+						act = append(act, graph.VertexID(v))
+					}
+				}
+			}
+			activatedPerChunk[c] = act
+			residualPerChunk[c] = residual
+			appliesPerChunk[c] = applied
+		})
 		var residual float64
 		var applies int64
-		if tr.AllVerticesActive {
-			for v := 0; v < n; v++ {
-				nv, _ := k.Apply(g, graph.VertexID(v), values[v], agg[v], has[v])
-				residual += math.Abs(nv - values[v])
-				values[v] = nv
+		for c := 0; c < P; c++ {
+			residual += residualPerChunk[c]
+			applies += appliesPerChunk[c]
+			for _, v := range activatedPerChunk[c] {
+				next.Activate(v)
 			}
-			applies = int64(n)
+		}
+		if tr.AllVerticesActive {
 			if tr.Epsilon > 0 && residual < tr.Epsilon {
 				res.Converged = true
 				e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
@@ -388,18 +551,6 @@ func (e *execution) run(engineName string) (*Run, error) {
 				break
 			}
 			next.ActivateAll()
-		} else {
-			for v := 0; v < n; v++ {
-				if !has[v] {
-					continue
-				}
-				applies++
-				nv, activate := k.Apply(g, graph.VertexID(v), values[v], agg[v], true)
-				values[v] = nv
-				if activate {
-					next.Activate(graph.VertexID(v))
-				}
-			}
 		}
 		e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
 		run.Records = append(run.Records, rec)
@@ -534,5 +685,16 @@ func aggregatedMoveBytes(rec *Record, bufferEntries int64) int64 {
 	}
 	meanMultiplicity := float64(rec.PartialUpdates) / float64(rec.DistinctDsts)
 	passThrough := float64(rec.DistinctDsts-bufferEntries) * meanMultiplicity
-	return (bufferEntries + int64(passThrough)) * kernels.UpdateBytes
+	// Round half-up rather than truncating toward zero: truncation lost up
+	// to one update's bytes per iteration. The modeled stream can never be
+	// smaller than the buffered entries themselves nor larger than the
+	// uncompressed stream, so clamp to [bufferEntries, PartialUpdates].
+	entries := bufferEntries + int64(math.Floor(passThrough+0.5))
+	if entries < bufferEntries {
+		entries = bufferEntries
+	}
+	if entries > rec.PartialUpdates {
+		entries = rec.PartialUpdates
+	}
+	return entries * kernels.UpdateBytes
 }

@@ -64,7 +64,17 @@ step go test ./...
 # altered timing.
 step go test -race -count=2 -run '^TestFault' ./internal/cluster/
 
+# The parallel simulator's bit-identity claim gets the same treatment:
+# every kernel × engine × worker-count combination must match the serial
+# path exactly, twice, under the race detector's altered scheduling.
+step go test -race -count=2 -run '^TestParallelMatchesSerial$' ./internal/sim/
+
 step go test -race ./...
+
+# Bench smoke: one iteration of the serial-vs-parallel speedup benchmark,
+# so the trajectory's BENCH JSON always carries the speedup metric and a
+# regression that breaks the benchmark harness fails the gate.
+step go test -run '^$' -bench '^BenchmarkParallelSpeedup$' -benchtime 1x .
 
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     # -fuzz matches by regex; each target needs its own run because the
