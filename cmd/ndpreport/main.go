@@ -11,10 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/metrics"
 )
 
 // errWriter tracks the first write failure so the report generator can
@@ -52,21 +50,16 @@ func main() {
 			fatal(fmt.Errorf("%s: %v", id, err))
 		}
 		w.printf("## `%s` — %s\n\n", a.ID, a.Title)
-		writeMarkdownTable(w, a.Table)
+		table, err := renderMarkdownTable(a.Table)
+		if err != nil {
+			fatal(err)
+		}
+		w.printf("%s", table)
 		if len(a.Notes) > 0 {
-			w.printf("\n")
-			for _, n := range a.Notes {
-				marker := "-"
-				switch {
-				case strings.HasPrefix(n, "OK:"):
-					marker = "- ✅"
-					okTotal++
-				case strings.HasPrefix(n, "MISMATCH"):
-					marker = "- ❌"
-					mismatchTotal++
-				}
-				w.printf("%s %s\n", marker, n)
-			}
+			notes, ok, mismatch := renderNotes(a.Notes)
+			w.printf("\n%s", notes)
+			okTotal += ok
+			mismatchTotal += mismatch
 		}
 		w.printf("\n")
 	}
@@ -82,50 +75,4 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "ndpreport: %v\n", err)
 	os.Exit(1)
-}
-
-// writeMarkdownTable renders a metrics.Table as GitHub-flavored markdown
-// by converting its CSV form (the only loss is column alignment, which
-// markdown renderers redo anyway).
-func writeMarkdownTable(w *errWriter, t *metrics.Table) {
-	var csv strings.Builder
-	if err := t.RenderCSV(&csv); err != nil {
-		fatal(err)
-	}
-	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
-	for i, line := range lines {
-		cells := splitCSVLine(line)
-		w.printf("| %s |\n", strings.Join(cells, " | "))
-		if i == 0 {
-			seps := make([]string, len(cells))
-			for j := range seps {
-				seps[j] = "---"
-			}
-			w.printf("| %s |\n", strings.Join(seps, " | "))
-		}
-	}
-}
-
-// splitCSVLine splits one RFC-4180 CSV line (quotes unescaped).
-func splitCSVLine(line string) []string {
-	var cells []string
-	var cur strings.Builder
-	inQuotes := false
-	for i := 0; i < len(line); i++ {
-		c := line[i]
-		switch {
-		case inQuotes && c == '"' && i+1 < len(line) && line[i+1] == '"':
-			cur.WriteByte('"')
-			i++
-		case c == '"':
-			inQuotes = !inQuotes
-		case c == ',' && !inQuotes:
-			cells = append(cells, cur.String())
-			cur.Reset()
-		default:
-			cur.WriteByte(c)
-		}
-	}
-	cells = append(cells, cur.String())
-	return cells
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestRenderMarkdownTableGolden pins the report's table rendering byte
+// for byte on a hand-built table, the same discipline as the simulator's
+// CSV golden: any format change must show up here as a deliberate
+// update, because published reports get diffed.
+func TestRenderMarkdownTableGolden(t *testing.T) {
+	tbl := metrics.NewTable("Table II", "architecture", "bytes", "speedup")
+	tbl.AddRow("distributed", int64(1024), 1.0)
+	tbl.AddRow("disaggregated-ndp", int64(256), 4.0)
+	got, err := renderMarkdownTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "| architecture | bytes | speedup |\n" +
+		"| --- | --- | --- |\n" +
+		"| distributed | 1024 | 1 |\n" +
+		"| disaggregated-ndp | 256 | 4 |\n"
+	if got != golden {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestRenderMarkdownTableQuotedCells pins the CSV round trip through
+// quoted cells: commas and escaped quotes inside a cell must survive
+// into the markdown unmangled.
+func TestRenderMarkdownTableQuotedCells(t *testing.T) {
+	tbl := metrics.NewTable("notes", "dataset", "comment")
+	tbl.AddRow("wiki-talk", `hubs, long tail`)
+	tbl.AddRow("uk-2005", `the "web" crawl`)
+	got, err := renderMarkdownTable(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = "| dataset | comment |\n" +
+		"| --- | --- |\n" +
+		"| wiki-talk | hubs, long tail |\n" +
+		"| uk-2005 | the \"web\" crawl |\n"
+	if got != golden {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", got, golden)
+	}
+}
+
+// TestRenderNotesGolden pins the check-marker formatting and the
+// pass/fail tally.
+func TestRenderNotesGolden(t *testing.T) {
+	notes := []string{
+		"OK: aggregation reduced movement",
+		"MISMATCH (figure 7): plateau missing",
+		"plain observation",
+		"OK: offload matched oracle",
+	}
+	body, ok, mismatch := renderNotes(notes)
+	const golden = "- ✅ OK: aggregation reduced movement\n" +
+		"- ❌ MISMATCH (figure 7): plateau missing\n" +
+		"- plain observation\n" +
+		"- ✅ OK: offload matched oracle\n"
+	if body != golden {
+		t.Fatalf("golden mismatch:\ngot:\n%s\nwant:\n%s", body, golden)
+	}
+	if ok != 2 || mismatch != 1 {
+		t.Fatalf("tally ok=%d mismatch=%d, want 2 and 1", ok, mismatch)
+	}
+}
+
+func TestRenderNotesEmpty(t *testing.T) {
+	body, ok, mismatch := renderNotes(nil)
+	if body != "" || ok != 0 || mismatch != 0 {
+		t.Fatalf("empty notes rendered %q ok=%d mismatch=%d", body, ok, mismatch)
+	}
+}
+
+func TestSplitCSVLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`a,b,c`, []string{"a", "b", "c"}},
+		{`"a,b",c`, []string{"a,b", "c"}},
+		{`"he said ""hi""",x`, []string{`he said "hi"`, "x"}},
+		{``, []string{""}},
+		{`,`, []string{"", ""}},
+	}
+	for _, tc := range cases {
+		if got := splitCSVLine(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitCSVLine(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

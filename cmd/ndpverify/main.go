@@ -1,0 +1,142 @@
+// ndpverify is the differential verification harness: it generates
+// seeded random scenarios (generator x scale x kernel x partitioner x
+// topology x fault plan), executes each through the analytical engines
+// and the concurrent cluster, and checks every oracle the framework
+// promises — cross-architecture bit-equality, serial and worker
+// differentials, data-movement conservation, the aggregation byte
+// bound, monotone convergence, partition validity, and fault/recovery
+// accounting (see internal/verify).
+//
+// Output is fully deterministic for a given seed and flag set (no
+// timing, no ordering jitter), so two runs are byte-identical and a CI
+// diff against a previous run is meaningful.
+//
+// Usage:
+//
+//	ndpverify -seed 1 -scenarios 25        # check 25 generated scenarios
+//	ndpverify -scenario repro.json         # replay a saved reproducer
+//
+// On failure the harness shrinks the scenario to a minimal reproducer
+// and prints it as replayable JSON, then exits 1.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/verify"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// errWriter tracks the first write failure so the verdict lines can
+// print unconditionally and the run can fail once at the end — a
+// truncated "all oracles held" (broken pipe, full disk) must not exit 0.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...interface{}) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ndpverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 1, "master seed for scenario generation")
+	count := fs.Int("scenarios", 25, "number of scenarios to generate and check")
+	file := fs.String("scenario", "", "replay a single scenario from a JSON reproducer instead of generating")
+	shrinkBudget := fs.Int("shrink", 64, "max scenario executions spent minimizing a failure")
+	verbose := fs.Bool("v", false, "print each scenario's full JSON before checking it")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		_, _ = fmt.Fprintf(stderr, "ndpverify: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+
+	out := &errWriter{w: stdout}
+	if *file != "" {
+		return finish(runFile(out, stderr, *file, *shrinkBudget), out, stderr)
+	}
+	if *count <= 0 {
+		_, _ = fmt.Fprintf(stderr, "ndpverify: -scenarios must be positive, got %d\n", *count)
+		return 2
+	}
+
+	for i := 0; i < *count; i++ {
+		sc := verify.Generate(*seed, i)
+		if *verbose {
+			printJSON(out, sc)
+		}
+		if err := verify.Check(sc); err != nil {
+			out.printf("FAIL %3d  %s\n      %v\n", sc.Index, sc.String(), err)
+			reportShrunk(out, sc, *shrinkBudget)
+			return finish(1, out, stderr)
+		}
+		out.printf("ok   %3d  %s\n", sc.Index, sc.String())
+	}
+	out.printf("ndpverify: %d scenarios checked (seed %d): all oracles held\n", *count, *seed)
+	return finish(0, out, stderr)
+}
+
+// finish folds a pending write failure into the exit code: a verdict
+// that could not be fully written is a failure even if every oracle held.
+func finish(code int, out *errWriter, stderr io.Writer) int {
+	if out.err != nil {
+		_, _ = fmt.Fprintf(stderr, "ndpverify: write: %v\n", out.err)
+		if code == 0 {
+			return 1
+		}
+	}
+	return code
+}
+
+// runFile replays one saved reproducer.
+func runFile(out *errWriter, stderr io.Writer, path string, shrinkBudget int) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "ndpverify: %v\n", err)
+		return 2
+	}
+	sc, err := verify.ParseScenario(data)
+	if err != nil {
+		_, _ = fmt.Fprintf(stderr, "ndpverify: %s: %v\n", path, err)
+		return 2
+	}
+	if err := verify.Check(sc); err != nil {
+		out.printf("FAIL      %s\n      %v\n", sc.String(), err)
+		reportShrunk(out, sc, shrinkBudget)
+		return 1
+	}
+	out.printf("ok        %s\n", sc.String())
+	out.printf("ndpverify: scenario %s: all oracles held\n", path)
+	return 0
+}
+
+// reportShrunk minimizes the failing scenario and prints a replayable
+// reproducer: save the JSON and run `ndpverify -scenario <file>`.
+func reportShrunk(out *errWriter, sc verify.Scenario, budget int) {
+	min, failure := verify.Shrink(sc, verify.Check, budget)
+	out.printf("shrunk to %s\n      %v\n", min.String(), failure)
+	out.printf("replay with: ndpverify -scenario repro.json, where repro.json is:\n")
+	printJSON(out, min)
+}
+
+func printJSON(out *errWriter, sc verify.Scenario) {
+	js, err := sc.MarshalIndent()
+	if err != nil {
+		out.printf("  (marshal failed: %v)\n", err)
+		return
+	}
+	out.printf("%s\n", js)
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/verify"
+)
+
+// TestRunIsByteDeterministic is the acceptance criterion for the
+// harness front-end: two invocations with the same seed produce
+// byte-identical output.
+func TestRunIsByteDeterministic(t *testing.T) {
+	args := []string{"-seed", "1", "-scenarios", "8"}
+	var out1, out2, errs bytes.Buffer
+	if code := run(args, &out1, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errs.String(), out1.String())
+	}
+	if code := run(args, &out2, &errs); code != 0 {
+		t.Fatalf("second run exit %d", code)
+	}
+	if !bytes.Equal(out1.Bytes(), out2.Bytes()) {
+		t.Fatalf("two runs differ:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+	if !strings.Contains(out1.String(), "all oracles held") {
+		t.Fatalf("missing summary line:\n%s", out1.String())
+	}
+}
+
+func TestRunReplaysAScenarioFile(t *testing.T) {
+	sc := verify.Generate(1, 0)
+	js, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errs bytes.Buffer
+	if code := run([]string{"-scenario", path}, &out, &errs); code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errs.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "all oracles held") {
+		t.Fatalf("missing summary:\n%s", out.String())
+	}
+}
+
+// TestRunReportsAndShrinksFailures drives the failure path end to end
+// using the seeded historical bug: with the legacy aggregation model
+// reinstated, the harness must fail, shrink, and print a replayable
+// reproducer.
+func TestRunReportsAndShrinksFailures(t *testing.T) {
+	restore := sim.SetLegacyAggregationModelForTest(true)
+	defer restore()
+
+	// A dense fixed-point scenario whose bounded switch buffer the
+	// legacy model mis-accounts (the same shape internal/verify's
+	// mutation-smoke test uses).
+	sc := verify.Scenario{
+		Seed: 7, Generator: "er", Vertices: 128, EdgeFactor: 6,
+		Kernel: "pagerank", Partitioner: "hash", Partitions: 4,
+		ComputeNodes: 2, Workers: 2, Aggregation: true,
+		SwitchBufferEntries: 8,
+	}
+	js, err := sc.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, js, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errs bytes.Buffer
+	code := run([]string{"-scenario", path}, &out, &errs)
+	if code != 1 {
+		t.Fatalf("exit %d with the legacy model active, want 1\nstdout: %s", code, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"FAIL", "aggregation-model", "shrunk to", "-scenario"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("failure report missing %q:\n%s", want, s)
+		}
+	}
+	// The printed reproducer must parse back into a valid scenario.
+	start := strings.Index(s, "{")
+	if start < 0 {
+		t.Fatalf("no JSON reproducer in report:\n%s", s)
+	}
+	if _, err := verify.ParseScenario([]byte(s[start:])); err != nil {
+		t.Errorf("printed reproducer does not parse: %v", err)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-scenarios", "0"},
+		{"-no-such-flag"},
+		{"positional"},
+		{"-scenario", filepath.Join(t.TempDir(), "missing.json")},
+	}
+	for _, args := range cases {
+		var out, errs bytes.Buffer
+		if code := run(args, &out, &errs); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -120,6 +120,15 @@ type Outcome struct {
 	// root's delivery to the compute nodes). For the flat topology it has
 	// one entry, equal to Traffic.SwitchToCompute.
 	LevelBytes []int64
+	// LevelBytesIn[l] is the total bytes *entering* switch level l,
+	// counted at the receiver per delivered copy. Together with
+	// LevelBytes it makes flow conservation checkable link class by link
+	// class: LevelBytesIn[0] equals the memory pool's sent bytes
+	// (CounterMemSentBytes), LevelBytesIn[l+1] equals LevelBytes[l], and
+	// the last level's LevelBytes equals the compute nodes' received
+	// bytes (CounterComputeRecvBytes) — faults included, because both
+	// ends count delivered copies, never attempts.
+	LevelBytesIn []int64
 	// Faults summarizes injected faults and recovery work. Acknowledged
 	// deliveries (Acks) are nonzero on every run; the fault and recovery
 	// counters are zero unless the Config carried a non-empty FaultPlan.
@@ -127,6 +136,33 @@ type Outcome struct {
 	// Counters is the run's full metrics snapshot (sorted by name), the
 	// same numbers Faults summarizes plus any future instrumentation.
 	Counters []metrics.CounterValue
+}
+
+// Conservation counter names: bytes counted at the *other* end of each
+// link class from the Traffic tallies, so sent-equals-received becomes a
+// checkable invariant. CounterMemSentBytes is counted at the memory-node
+// senders (Traffic.MemToSwitch is the leaf switches' receive count),
+// CounterComputeRecvBytes at the compute-node receivers
+// (Traffic.SwitchToCompute is the root's send count), and
+// CounterWritebackRecvBytes at the memory-node write-back receivers
+// (Traffic.Writeback is the compute-node send count). All three count
+// per delivered copy — duplicates included, dropped attempts excluded —
+// matching the Traffic accounting exactly, faults or none.
+const (
+	CounterMemSentBytes       = "cluster.link.update.mem_sent_bytes"
+	CounterComputeRecvBytes   = "cluster.link.update.compute_recv_bytes"
+	CounterWritebackRecvBytes = "cluster.link.writeback.recv_bytes"
+)
+
+// Counter returns the value of a named counter from the run's metrics
+// snapshot (0 if absent).
+func (o *Outcome) Counter(name string) int64 {
+	for _, c := range o.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
 }
 
 // message types exchanged on the links.

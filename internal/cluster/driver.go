@@ -108,6 +108,13 @@ type driver struct {
 	st  *faultStats
 	reg *metrics.Registry
 
+	// Conservation counters: the receive/send side of each link class
+	// that Traffic doesn't already cover (see the Counter* names in
+	// cluster.go). All accrue per delivered copy.
+	memSent  *metrics.Counter
+	compRecv *metrics.Counter
+	wbRecv   *metrics.Counter
+
 	memCtrl  []chan memCmd
 	compCtrl []chan compCmd
 
@@ -174,6 +181,10 @@ func newDriver(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, c
 		inj: newInjector(cfg.Fault),
 		reg: reg,
 		st:  newFaultStats(reg),
+
+		memSent:  reg.Counter(CounterMemSentBytes),
+		compRecv: reg.Counter(CounterComputeRecvBytes),
+		wbRecv:   reg.Counter(CounterWritebackRecvBytes),
 	}
 	depth := cfg.ChannelDepth
 	d.memCtrl = make([]chan memCmd, d.M)
@@ -322,7 +333,10 @@ func (d *driver) run() (*Outcome, error) {
 		go d.computeNode(c, owned, freshInit[c])
 	}
 
-	out := &Outcome{LevelBytes: make([]int64, d.levels)}
+	out := &Outcome{
+		LevelBytes:   make([]int64, d.levels),
+		LevelBytesIn: make([]int64, d.levels),
+	}
 	alive := make([]bool, d.M)
 	for a := range alive {
 		alive[a] = true
@@ -405,6 +419,7 @@ func (d *driver) run() (*Outcome, error) {
 				traffic.SwitchToCompute += sw.bytesOut
 			}
 			out.LevelBytes[sw.level] += sw.bytesOut
+			out.LevelBytesIn[sw.level] += sw.bytesIn
 		}
 		for i := 0; i < aliveCount; i++ {
 			<-d.memReady
@@ -491,6 +506,7 @@ func (d *driver) memoryNode(a int, active map[int]map[graph.VertexID]float64) {
 				wb := <-d.wbActor[a]
 				wb.ack <- wb.seq
 				d.st.acks.Inc()
+				d.wbRecv.Add(int64(len(wb.updates)) * UpdateBytes)
 				key := [2]int{wb.compute, wb.part}
 				if prev, ok := lastSeq[key]; ok && wb.seq <= prev {
 					continue // injected duplicate, already absorbed
@@ -558,6 +574,7 @@ func (d *driver) memoryNode(a int, active map[int]map[graph.VertexID]float64) {
 			flush := func(final bool) {
 				b := batch
 				l.transmit(iter, final, func(seq int, ack chan<- int) {
+					d.memSent.Add(int64(len(b)) * UpdateBytes)
 					out <- updateBatch{src: src, seq: seq, updates: b, final: final, ack: ack}
 				})
 				batch = make([]Update, 0, batchSize)
@@ -790,6 +807,7 @@ func (d *driver) computeNode(c int, values map[graph.VertexID]float64, fresh map
 			b := <-d.compIn[c]
 			b.ack <- b.seq
 			d.st.acks.Inc()
+			d.compRecv.Add(int64(len(b.updates)) * UpdateBytes)
 			if b.seq <= lastSeq {
 				continue // injected duplicate, already reduced
 			}

@@ -253,6 +253,19 @@ func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel) (*cluster.Outco
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning: %w", err)
 	}
+	return s.RunConcurrentWithAssignment(g, k, assign)
+}
+
+// RunConcurrentWithAssignment is RunConcurrent with a caller-provided
+// partition assignment — the concurrent twin of RunWithAssignment. Reuse
+// one assignment to run the analytical engines and the concurrent
+// cluster on the *same* partitioning, so any divergence between them is
+// the execution model's, not the partitioner's (the verification harness
+// relies on this).
+func (s *System) RunConcurrentWithAssignment(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*cluster.Outcome, error) {
+	if s.arch != DisaggregatedNDP {
+		return nil, fmt.Errorf("core: concurrent execution models the disaggregated NDP architecture; got %s", s.arch)
+	}
 	return cluster.Run(g, k, assign, s.ClusterConfig())
 }
 

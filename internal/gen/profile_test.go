@@ -1,0 +1,109 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDatasetStandInsMatchDocumentedProfiles pins each synthetic
+// stand-in to the shape it claims to reproduce: the real dataset's
+// vertex:edge ratio (within a per-dataset band — small scales lose some
+// edges to dedup and self-loop dropping) and the degree-skew profile
+// that motivates using it (power-law tail, hub overlay, or
+// near-regular communities). A generator change that silently flattens
+// Twitter7's tail or fattens wiki-Talk would invalidate the
+// experiments built on these graphs; this test makes that loud.
+func TestDatasetStandInsMatchDocumentedProfiles(t *testing.T) {
+	const scale = 0.25
+	cases := []struct {
+		name string
+		// Bounds on MeanOutDeg / (RealEdges/RealVertices).
+		ratioLo, ratioHi float64
+		// Bounds on the Gini coefficient of the out-degree
+		// distribution: high for power-law graphs, near zero for
+		// planted communities.
+		giniLo, giniHi float64
+		// hubFactor requires MaxOutDeg >= hubFactor * MeanOutDeg — the
+		// documented hub overlay / heavy tail.
+		hubFactor float64
+		// zeroFracMin requires at least this fraction of vertices with
+		// no out-edges (wiki-Talk's long silent tail).
+		zeroFracMin float64
+	}{
+		{name: "twitter7", ratioLo: 0.6, ratioHi: 1.2, giniLo: 0.7, giniHi: 0.95, hubFactor: 20, zeroFracMin: 0.1},
+		{name: "uk-2005", ratioLo: 0.8, ratioHi: 1.1, giniLo: 0, giniHi: 0.15, hubFactor: 10},
+		{name: "com-livejournal", ratioLo: 0.85, ratioHi: 1.1, giniLo: 0, giniHi: 0.15, hubFactor: 5},
+		{name: "wiki-talk", ratioLo: 0.8, ratioHi: 1.3, giniLo: 0.45, giniHi: 0.8, hubFactor: 50, zeroFracMin: 0.15},
+	}
+	if len(cases) != len(Datasets()) {
+		t.Fatalf("profile table covers %d datasets, registry has %d", len(cases), len(Datasets()))
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := ByName(tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := d.Generate(scale, Config{Seed: 42, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := graph.ComputeStats(g)
+			real := float64(d.RealEdges) / float64(d.RealVertices)
+			ratio := st.MeanOutDeg / real
+			if ratio < tc.ratioLo || ratio > tc.ratioHi {
+				t.Errorf("mean degree %.2f is %.2fx the real ratio %.2f, want within [%.2f, %.2f]",
+					st.MeanOutDeg, ratio, real, tc.ratioLo, tc.ratioHi)
+			}
+			if st.GiniOutDeg < tc.giniLo || st.GiniOutDeg > tc.giniHi {
+				t.Errorf("degree gini %.3f outside documented skew band [%.2f, %.2f]",
+					st.GiniOutDeg, tc.giniLo, tc.giniHi)
+			}
+			if hub := float64(st.MaxOutDeg); hub < tc.hubFactor*st.MeanOutDeg {
+				t.Errorf("max degree %.0f < %.0fx mean %.2f: hub tail missing",
+					hub, tc.hubFactor, st.MeanOutDeg)
+			}
+			if tc.zeroFracMin > 0 {
+				frac := float64(st.ZeroOutDeg) / float64(st.NumVertices)
+				if frac < tc.zeroFracMin {
+					t.Errorf("zero-out-degree fraction %.3f < %.2f: silent tail missing", frac, tc.zeroFracMin)
+				}
+			}
+		})
+	}
+}
+
+// TestDatasetStandInsAreSeedStable pins reproducibility: the same seed
+// regenerates the identical graph (edge-for-edge), and different seeds
+// vary the instance without moving its profile (edge counts within 5%).
+func TestDatasetStandInsAreSeedStable(t *testing.T) {
+	const scale = 0.1
+	for _, d := range Datasets() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			a, err := d.Generate(scale, Config{Seed: 9, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := d.Generate(scale, Config{Seed: 9, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+				t.Fatalf("same seed, different graphs: %d/%d vs %d/%d vertices/edges",
+					a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+			}
+			c, err := d.Generate(scale, Config{Seed: 10, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			lo := float64(a.NumEdges()) * 0.95
+			hi := float64(a.NumEdges()) * 1.05
+			if e := float64(c.NumEdges()); e < lo || e > hi {
+				t.Errorf("edge count drifted across seeds: %d vs %d (>5%%)", c.NumEdges(), a.NumEdges())
+			}
+		})
+	}
+}

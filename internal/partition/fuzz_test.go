@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// fuzzGraph decodes an arbitrary byte string into a deterministic graph:
+// a vertex count from the first bytes, then consecutive byte pairs as
+// directed edges. Degenerate inputs fold into the smallest valid graph,
+// so every corpus entry exercises the partitioner rather than the
+// builder's error paths.
+func fuzzGraph(data []byte) *graph.Graph {
+	n := 2
+	if len(data) > 0 {
+		n = 2 + int(data[0])%254 // 2..255 vertices
+		data = data[1:]
+	}
+	b := graph.NewBuilder(n).DropSelfLoops()
+	for i := 0; i+1 < len(data); i += 2 {
+		src := graph.VertexID(int(data[i]) % n)
+		dst := graph.VertexID(int(data[i+1]) % n)
+		b.AddEdge(src, dst, 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err) // in-range ids cannot fail to build
+	}
+	return g
+}
+
+// FuzzMultilevelPartition throws arbitrary graphs, part counts, and
+// seeds at the multilevel partitioner and checks its contract: a valid
+// assignment (every vertex exactly one part in [0,k)), exact coverage,
+// determinism, the gated balance promise, and the coarsening round-trip
+// invariants (cmap totality and vertex-weight conservation).
+func FuzzMultilevelPartition(f *testing.F) {
+	f.Add([]byte{}, uint8(2), uint64(1))
+	f.Add([]byte{64, 0, 1, 1, 2, 2, 3, 3, 0}, uint8(4), uint64(7))
+	f.Add([]byte{255, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3}, uint8(8), uint64(42))
+	f.Add([]byte{16, 0, 1, 0, 1, 0, 1}, uint8(3), uint64(3)) // parallel edges
+	f.Fuzz(func(t *testing.T, data []byte, kRaw uint8, seed uint64) {
+		g := fuzzGraph(data)
+		n := g.NumVertices()
+		k := 1 + int(kRaw)%16
+		if k > n {
+			k = n
+		}
+		m := Multilevel{Seed: seed}
+		a, err := m.Partition(g, k)
+		if err != nil {
+			t.Fatalf("n=%d k=%d seed=%d: %v", n, k, seed, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("n=%d k=%d seed=%d: invalid assignment: %v", n, k, seed, err)
+		}
+		if a.K != k {
+			t.Fatalf("asked for k=%d, assignment says %d", k, a.K)
+		}
+		// Coverage: part sizes must sum to exactly n — every vertex
+		// assigned exactly once.
+		var total int64
+		for _, s := range a.Sizes() {
+			total += s
+		}
+		if total != int64(n) {
+			t.Fatalf("part sizes sum to %d, graph has %d vertices", total, n)
+		}
+		// Determinism: the same (graph, k, seed) must repartition
+		// identically.
+		b, err := m.Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Parts {
+			if a.Parts[v] != b.Parts[v] {
+				t.Fatalf("nondeterministic: vertex %d got parts %d and %d", v, a.Parts[v], b.Parts[v])
+			}
+		}
+		// Balance promise, gated exactly as the package documents it:
+		// with parts well above the refinement granularity no part may
+		// be empty and the imbalance stays moderate.
+		if n >= 16*k {
+			q := Evaluate(g, a)
+			for i, s := range a.Sizes() {
+				if s == 0 {
+					t.Fatalf("empty part %d with n=%d k=%d", i, n, k)
+				}
+			}
+			if q.VertexImbalance > 1.5 {
+				t.Fatalf("vertex imbalance %.3f > 1.5 with n=%d k=%d", q.VertexImbalance, n, k)
+			}
+		}
+
+		// Coarsening round trip on the symmetrized graph: cmap must map
+		// every fine vertex to a coarse one, the coarse graph cannot
+		// grow, and heavy-edge matching must conserve total vertex
+		// weight (each coarse weight is the sum of its matched fines).
+		fine := symmetrize(g)
+		coarse := coarsen(fine, seed)
+		if coarse.n > fine.n {
+			t.Fatalf("coarsening grew the graph: %d -> %d", fine.n, coarse.n)
+		}
+		var fineW, coarseW int64
+		for _, w := range fine.vwt {
+			fineW += w
+		}
+		for _, w := range coarse.vwt {
+			coarseW += w
+		}
+		if fineW != coarseW {
+			t.Fatalf("coarsening lost vertex weight: %d -> %d", fineW, coarseW)
+		}
+		if len(fine.cmap) != fine.n {
+			t.Fatalf("cmap covers %d of %d vertices", len(fine.cmap), fine.n)
+		}
+		mapped := make([]int64, coarse.n)
+		for v, cv := range fine.cmap {
+			if cv < 0 || int(cv) >= coarse.n {
+				t.Fatalf("vertex %d maps to out-of-range coarse vertex %d (coarse n=%d)", v, cv, coarse.n)
+			}
+			mapped[cv] += fine.vwt[v]
+		}
+		for cv, w := range mapped {
+			if w != coarse.vwt[cv] {
+				t.Fatalf("coarse vertex %d weight %d, matched fines sum to %d", cv, coarse.vwt[cv], w)
+			}
+		}
+	})
+}

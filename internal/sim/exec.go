@@ -685,6 +685,11 @@ func aggregatedMoveBytes(rec *Record, bufferEntries int64) int64 {
 	}
 	meanMultiplicity := float64(rec.PartialUpdates) / float64(rec.DistinctDsts)
 	passThrough := float64(rec.DistinctDsts-bufferEntries) * meanMultiplicity
+	if legacyAggregationModel {
+		// Seeded historical bug (see testhook.go): truncate toward zero
+		// and skip the clamps, exactly as the pre-fix code did.
+		return (bufferEntries + int64(passThrough)) * kernels.UpdateBytes
+	}
 	// Round half-up rather than truncating toward zero: truncation lost up
 	// to one update's bytes per iteration. The modeled stream can never be
 	// smaller than the buffered entries themselves nor larger than the

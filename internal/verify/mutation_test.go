@@ -1,0 +1,84 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// mutationScenario exercises the bounded switch buffer hard: a dense
+// graph so every iteration overflows the 8-entry buffer, and the
+// fixed-point kernel so many iterations get checked.
+func mutationScenario() Scenario {
+	return Scenario{
+		Seed:                7,
+		Generator:           "er",
+		Vertices:            128,
+		EdgeFactor:          6,
+		Kernel:              "pagerank",
+		Partitioner:         "hash",
+		Partitions:          4,
+		ComputeNodes:        2,
+		Workers:             2,
+		Aggregation:         true,
+		SwitchBufferEntries: 8,
+	}
+}
+
+// TestMutationSmokeCatchesLegacyAggregationModel seeds a known past bug
+// — the pre-fix aggregated-move-bytes formula that truncated toward
+// zero and skipped the clamps — behind sim's test hook, and requires
+// the harness to catch it. If this test fails, the harness has lost the
+// oracle that guards the aggregation model.
+func TestMutationSmokeCatchesLegacyAggregationModel(t *testing.T) {
+	sc := mutationScenario()
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The unmutated simulator must pass: otherwise the failure below
+	// would prove nothing.
+	if err := Check(sc); err != nil {
+		t.Fatalf("scenario fails before mutation: %v", err)
+	}
+
+	restore := sim.SetLegacyAggregationModelForTest(true)
+	defer restore()
+
+	err := Check(sc)
+	if err == nil {
+		t.Fatal("harness did not catch the legacy aggregation model")
+	}
+	var f *Failure
+	if !errors.As(err, &f) {
+		t.Fatalf("mutation surfaced as a non-Failure error: %v", err)
+	}
+	if f.Oracle != OracleAggregation {
+		t.Fatalf("mutation caught by oracle %q, want %q: %v", f.Oracle, OracleAggregation, err)
+	}
+
+	// Shrinking must preserve the failure and keep the one dimension the
+	// bug needs: a bounded switch buffer. (Aggregation may legitimately
+	// shrink away — the engine computes the aggregated-bytes estimate
+	// either way, so the model oracle still fires.)
+	min, failure := Shrink(sc, Check, 0)
+	if failure == nil {
+		t.Fatal("shrinking lost the mutation failure")
+	}
+	if min.SwitchBufferEntries == 0 {
+		t.Errorf("shrunk scenario dropped the bounded buffer the bug needs: %+v", min)
+	}
+	if err := min.Validate(); err != nil {
+		t.Errorf("shrunk scenario invalid: %v", err)
+	}
+}
+
+// TestMutationHookRestores makes sure the hook cannot leak into other
+// tests: after restore, the same scenario passes again.
+func TestMutationHookRestores(t *testing.T) {
+	restore := sim.SetLegacyAggregationModelForTest(true)
+	restore()
+	if err := Check(mutationScenario()); err != nil {
+		t.Fatalf("scenario fails after hook restore: %v", err)
+	}
+}

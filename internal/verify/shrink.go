@@ -1,0 +1,176 @@
+package verify
+
+// Shrinking: given a failing scenario, greedily apply ordered reductions
+// (halve the graph, drop fault events, collapse the topology, disable
+// features) and keep each one only if the reduced scenario still fails.
+// The loop restarts after any successful reduction, so halvings compound
+// down to their floors, and it stops at a fixed point: a scenario no
+// single reduction can simplify without losing the failure.
+
+// shrinkFloorVertices is the smallest graph the shrinker will try —
+// small enough to eyeball, large enough that every generator still
+// produces a non-degenerate graph.
+const shrinkFloorVertices = 32
+
+// reduction is one simplification attempt. It returns the reduced
+// scenario and whether it changed anything (unchanged reductions are
+// skipped without spending a check).
+type reduction struct {
+	name  string
+	apply func(Scenario) (Scenario, bool)
+}
+
+func reductions() []reduction {
+	return []reduction{
+		{"halve-vertices", func(sc Scenario) (Scenario, bool) {
+			if sc.Vertices <= shrinkFloorVertices {
+				return sc, false
+			}
+			sc.Vertices = maxInt(shrinkFloorVertices, sc.Vertices/2)
+			return sc, true
+		}},
+		{"halve-edge-factor", func(sc Scenario) (Scenario, bool) {
+			if sc.EdgeFactor <= 1 {
+				return sc, false
+			}
+			sc.EdgeFactor /= 2
+			return sc, true
+		}},
+		{"drop-crashes", func(sc Scenario) (Scenario, bool) {
+			if len(sc.Fault.Crashes) == 0 {
+				return sc, false
+			}
+			sc.Fault.Crashes = nil
+			return sc, true
+		}},
+		{"zero-link-faults", func(sc Scenario) (Scenario, bool) {
+			if sc.Fault.Drop == 0 && sc.Fault.Duplicate == 0 && sc.Fault.Delay == 0 {
+				return sc, false
+			}
+			sc.Fault.Drop, sc.Fault.Duplicate, sc.Fault.Delay = 0, 0, 0
+			return sc, true
+		}},
+		{"no-cluster", func(sc Scenario) (Scenario, bool) {
+			if !sc.Cluster {
+				return sc, false
+			}
+			sc.Cluster = false
+			sc.Fault = FaultSpec{}
+			return sc, true
+		}},
+		{"halve-partitions", func(sc Scenario) (Scenario, bool) {
+			if sc.Partitions <= 1 {
+				return sc, false
+			}
+			sc.Partitions = maxInt(1, sc.Partitions/2)
+			sc.Fault.Crashes = clampCrashes(sc.Fault.Crashes, sc.Partitions)
+			return sc, true
+		}},
+		{"one-compute-node", func(sc Scenario) (Scenario, bool) {
+			if sc.ComputeNodes == 1 {
+				return sc, false
+			}
+			sc.ComputeNodes = 1
+			return sc, true
+		}},
+		{"one-worker", func(sc Scenario) (Scenario, bool) {
+			if sc.Workers == 1 {
+				return sc, false
+			}
+			sc.Workers = 1
+			return sc, true
+		}},
+		{"flat-switch", func(sc Scenario) (Scenario, bool) {
+			if sc.TreeFanIn == 0 {
+				return sc, false
+			}
+			sc.TreeFanIn = 0
+			return sc, true
+		}},
+		{"default-channel-depth", func(sc Scenario) (Scenario, bool) {
+			if sc.ChannelDepth == 0 {
+				return sc, false
+			}
+			sc.ChannelDepth = 0
+			return sc, true
+		}},
+		{"unbounded-buffer", func(sc Scenario) (Scenario, bool) {
+			if sc.SwitchBufferEntries == 0 {
+				return sc, false
+			}
+			sc.SwitchBufferEntries = 0
+			return sc, true
+		}},
+		{"no-aggregation", func(sc Scenario) (Scenario, bool) {
+			if !sc.Aggregation {
+				return sc, false
+			}
+			sc.Aggregation = false
+			return sc, true
+		}},
+		{"hash-partitioner", func(sc Scenario) (Scenario, bool) {
+			if sc.Partitioner == "hash" {
+				return sc, false
+			}
+			sc.Partitioner = "hash"
+			return sc, true
+		}},
+	}
+}
+
+// clampCrashes keeps a crash schedule valid after a partition-count
+// reduction: drop events aimed at removed nodes, and keep at least one
+// survivor.
+func clampCrashes(crashes []CrashEvent, parts int) []CrashEvent {
+	kept := crashes[:0:0]
+	for _, ev := range crashes {
+		if ev.Node < parts {
+			kept = append(kept, ev)
+		}
+	}
+	if len(kept) >= parts {
+		kept = kept[:parts-1]
+	}
+	if len(kept) == 0 {
+		return nil
+	}
+	return kept
+}
+
+// Shrink minimizes a failing scenario. check is the property under test
+// (normally Check); maxChecks caps how many candidate scenarios are
+// executed (<= 0 selects the default of 64). It returns the smallest
+// still-failing scenario found and that scenario's failure. If sc does
+// not fail in the first place, it returns sc unchanged with a nil error.
+func Shrink(sc Scenario, check func(Scenario) error, maxChecks int) (Scenario, error) {
+	if maxChecks <= 0 {
+		maxChecks = 64
+	}
+	failure := check(sc)
+	if failure == nil {
+		return sc, nil
+	}
+	checks := 1
+	best := sc
+	for progress := true; progress && checks < maxChecks; {
+		progress = false
+		for _, r := range reductions() {
+			if checks >= maxChecks {
+				break
+			}
+			cand, changed := r.apply(best)
+			if !changed {
+				continue
+			}
+			if cand.Validate() != nil {
+				continue
+			}
+			checks++
+			if err := check(cand); err != nil {
+				best, failure = cand, err
+				progress = true
+			}
+		}
+	}
+	return best, failure
+}

@@ -58,6 +58,16 @@ fi
 
 step go test ./...
 
+# The verification harness package gets its own -count=1 -race stage:
+# its differential oracles execute every layer (sim, cluster, core,
+# partition, gen) and must never be satisfied by a cached result.
+step go test -count=1 -race ./internal/verify/
+
+# ndpverify smoke: the seeded scenario sweep the README documents. Runs
+# the whole harness end to end; any oracle violation fails the gate with
+# a shrunken, replayable reproducer in the log.
+step go run ./cmd/ndpverify -seed 1 -scenarios 25
+
 # The cluster fault tests get a dedicated -race stage at -count=2: fault
 # injection + recovery is the code most exposed to scheduling, and the
 # determinism claims must hold run over run with the race detector's
@@ -77,13 +87,23 @@ step go test -race ./...
 step go test -run '^$' -bench '^BenchmarkParallelSpeedup$' -benchtime 1x .
 
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
+    # Fuzz targets as "name package" pairs — add a line to add a target.
     # -fuzz matches by regex; each target needs its own run because the
     # fuzz engine refuses a pattern matching more than one target.
-    step go test -run '^$' -fuzz '^FuzzReadEdgeList$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
-    step go test -run '^$' -fuzz '^FuzzReadBinary$' -fuzztime "${FUZZ_SECONDS}s" ./internal/gio/
-    # The CFG builder underlies every dataflow analyzer; fuzz it on
-    # arbitrary function bodies so lint never panics on weird code.
-    step go test -run '^$' -fuzz '^FuzzBuildCFG$' -fuzztime "${FUZZ_SECONDS}s" ./internal/lint/flow/
+    fuzz_targets=(
+        "FuzzReadEdgeList ./internal/gio/"
+        "FuzzReadBinary ./internal/gio/"
+        # The CFG builder underlies every dataflow analyzer; fuzz it on
+        # arbitrary function bodies so lint never panics on weird code.
+        "FuzzBuildCFG ./internal/lint/flow/"
+        # The multilevel partitioner's contract (coverage, balance,
+        # coarsening round trip) on arbitrary graphs.
+        "FuzzMultilevelPartition ./internal/partition/"
+    )
+    for target in "${fuzz_targets[@]}"; do
+        read -r name pkg <<< "$target"
+        step go test -run '^$' -fuzz "^${name}\$" -fuzztime "${FUZZ_SECONDS}s" "$pkg"
+    done
 else
     echo
     echo "==> fuzzing skipped (budget 0)"
