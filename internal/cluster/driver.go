@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -615,10 +616,18 @@ func (d *driver) memoryNode(a int, active map[int]map[graph.VertexID]float64) {
 // anything newer, duplicates are discarded by sequence number), so the
 // staged sequences — and with them every float aggregation and the
 // emitted stream — are identical across runs, faults or none.
+//
+//perf:hot
 func (d *driver) switchActor(s *switchSpec) {
 	k := d.k
 	isRoot := s.parent == nil
 	iter := -1
+	// Reusable per-iteration buffers: the staged map's child ids (at
+	// most s.children distinct sources) and the aggregation map's sorted
+	// destination list (batchSize is only the initial guess — the buffer
+	// grows once to the aggregate's width and is then reused).
+	childIDs := make([]int, 0, s.children)
+	vertexBuf := make([]graph.VertexID, 0, batchSize)
 	for cmd := range s.ctrl {
 		if cmd == ctrlShutdown {
 			return
@@ -635,9 +644,11 @@ func (d *driver) switchActor(s *switchSpec) {
 		if isRoot {
 			rootLinks = make([]*link, d.C)
 			for c := range rootLinks {
+				//lint:ignore loopalloc each link is fresh per-iteration protocol state (sequence window and ack channel) by design
 				rootLinks[c] = d.newLink(LinkUpdate, d.switchNode(s.gid), d.compNode(c))
 			}
 		} else {
+			//lint:ignore loopalloc each link is fresh per-iteration protocol state (sequence window and ack channel) by design
 			upLink = d.newLink(LinkUpdate, d.switchNode(s.gid), d.switchNode(s.parentGid))
 		}
 		outBatch := make([][]Update, d.C)
@@ -694,18 +705,18 @@ func (d *driver) switchActor(s *switchSpec) {
 				finals++
 			}
 		}
-		children := make([]int, 0, len(staged))
+		childIDs = childIDs[:0]
 		for src := range staged {
-			children = append(children, src)
+			childIDs = append(childIDs, src)
 		}
-		sort.Ints(children)
+		sort.Ints(childIDs)
 
 		// Reduce phase, in fixed child order.
 		var agg map[graph.VertexID]float64
 		if d.cfg.Aggregate {
 			agg = make(map[graph.VertexID]float64)
 		}
-		for _, src := range children {
+		for _, src := range childIDs {
 			for _, u := range staged[src] {
 				if agg != nil {
 					if prev, seen := agg[u.Vertex]; seen {
@@ -719,7 +730,12 @@ func (d *driver) switchActor(s *switchSpec) {
 			}
 		}
 		if agg != nil {
-			for _, v := range sortedVertices(agg) {
+			vertexBuf = vertexBuf[:0]
+			for v := range agg {
+				vertexBuf = append(vertexBuf, v)
+			}
+			slices.Sort(vertexBuf)
+			for _, v := range vertexBuf {
 				emit(Update{Vertex: v, Value: agg[v]})
 			}
 		}

@@ -64,6 +64,8 @@ func (p *PageRank) InitialFrontier(g *graph.Graph) []graph.VertexID { return nil
 func (p *PageRank) Identity() float64 { return 0 }
 
 // Scatter implements Kernel: each out-edge carries rank/outdeg.
+//
+//perf:hot
 func (p *PageRank) Scatter(ec EdgeContext) (float64, bool) {
 	if ec.SrcOutDegree == 0 {
 		return 0, false

@@ -42,6 +42,7 @@ func CheckGraph(g *graph.Graph, k Kernel) error {
 		// rather than looping to the iteration cap.
 		for i, w := range g.Weights() {
 			if w < 0 {
+				//lint:ignore loopalloc,ifacebox validation error path: the allocation happens once, on the run-rejecting return
 				return fmt.Errorf("kernels: %s requires non-negative weights; edge %d has %v", k.Name(), i, w)
 			}
 		}
@@ -57,6 +58,8 @@ func CheckGraph(g *graph.Graph, k Kernel) error {
 // RunSerial executes the kernel on a single address space with no
 // distribution — the ground-truth reference all simulated architectures
 // are validated against.
+//
+//perf:hot
 func RunSerial(g *graph.Graph, k Kernel) (*Result, error) {
 	if err := CheckGraph(g, k); err != nil {
 		return nil, err
@@ -75,6 +78,9 @@ func RunSerial(g *graph.Graph, k Kernel) (*Result, error) {
 			frontier.Activate(v)
 		}
 	}
+	// spare is recycled as each iteration's next frontier: the double
+	// buffer that replaces a per-iteration NewFrontier allocation.
+	spare := NewFrontier(n)
 
 	res := &Result{Values: values}
 	agg := make([]float64, n)
@@ -131,8 +137,9 @@ func RunSerial(g *graph.Graph, k Kernel) (*Result, error) {
 		}
 
 		// Update phase (the paper's Apply+Update): fold aggregates and
-		// build the next frontier.
-		next := NewFrontier(n)
+		// build the next frontier in the recycled spare buffer.
+		next := spare
+		next.Reset()
 		var residual float64
 		if tr.AllVerticesActive {
 			for v := 0; v < n; v++ {
@@ -157,6 +164,7 @@ func RunSerial(g *graph.Graph, k Kernel) (*Result, error) {
 				}
 			}
 		}
+		spare = frontier
 		frontier = next
 	}
 	if !res.Converged && res.Iterations < tr.MaxIterations {
@@ -189,6 +197,20 @@ func (f *Frontier) Activate(v graph.VertexID) {
 
 // ActivateAll marks every vertex active without materializing the list.
 func (f *Frontier) ActivateAll() { f.all = true }
+
+// Reset returns the frontier to empty without releasing its storage, so
+// engines can double-buffer two frontiers instead of allocating one per
+// iteration. Member bits are cleared through the activation list —
+// Activate is the only writer of member, so the list covers every set
+// bit — making a recycled frontier behave exactly like a fresh
+// NewFrontier of the same size.
+func (f *Frontier) Reset() {
+	for _, v := range f.list {
+		f.member[v] = false
+	}
+	f.list = f.list[:0]
+	f.all = false
+}
 
 // Contains reports whether v is active.
 func (f *Frontier) Contains(v graph.VertexID) bool {

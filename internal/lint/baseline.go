@@ -8,14 +8,17 @@ import (
 	"sort"
 )
 
-// BaselineEntry identifies one accepted pre-existing finding. Line and
-// column are deliberately absent: unrelated edits move findings around a
+// BaselineEntry identifies one accepted pre-existing finding. Line is
+// deliberately absent: unrelated edits move findings up and down a
 // file, and a baseline that churns on every edit gets regenerated
-// blindly instead of read. Rule + relative file + exact message is
-// stable and still specific.
+// blindly instead of read. Column is kept — it only moves when the
+// finding's own line is edited — because without it two same-line
+// findings of one rule with identical messages alias, and fixing one
+// would silently bless a new one in its place.
 type BaselineEntry struct {
 	Rule    string `json:"rule"`
 	File    string `json:"file"`
+	Column  int    `json:"column"`
 	Message string `json:"message"`
 }
 
@@ -24,7 +27,7 @@ type BaselineEntry struct {
 func BaselineFromDiagnostics(diags []Diagnostic) []BaselineEntry {
 	entries := make([]BaselineEntry, 0, len(diags))
 	for _, d := range diags {
-		entries = append(entries, BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Message: d.Message})
+		entries = append(entries, BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Column: d.Position.Column, Message: d.Message})
 	}
 	sort.Slice(entries, func(i, j int) bool {
 		a, b := entries[i], entries[j]
@@ -34,7 +37,10 @@ func BaselineFromDiagnostics(diags []Diagnostic) []BaselineEntry {
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
-		return a.Message < b.Message
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Column < b.Column
 	})
 	return entries
 }
@@ -75,7 +81,7 @@ func FilterBaseline(diags []Diagnostic, entries []BaselineEntry) (fresh []Diagno
 		budget[e]++
 	}
 	for _, d := range diags {
-		key := BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Message: d.Message}
+		key := BaselineEntry{Rule: d.Rule, File: d.Position.Filename, Column: d.Position.Column, Message: d.Message}
 		if budget[key] > 0 {
 			budget[key]--
 			continue

@@ -149,19 +149,20 @@ func TestUnifiedDiff(t *testing.T) {
 }
 
 func TestBaselineFilter(t *testing.T) {
-	mk := func(rule, file, msg string) Diagnostic {
+	mk := func(rule, file string, col int, msg string) Diagnostic {
 		d := Diagnostic{Rule: rule, Message: msg}
 		d.Position.Filename = file
+		d.Position.Column = col
 		return d
 	}
 	diags := []Diagnostic{
-		mk("errcheck", "a.go", "dropped"),
-		mk("errcheck", "a.go", "dropped"), // duplicate finding
-		mk("maporder", "b.go", "unsorted"),
+		mk("errcheck", "a.go", 4, "dropped"),
+		mk("errcheck", "a.go", 4, "dropped"), // duplicate finding
+		mk("maporder", "b.go", 2, "unsorted"),
 	}
 	entries := []BaselineEntry{
-		{Rule: "errcheck", File: "a.go", Message: "dropped"}, // covers ONE of the two
-		{Rule: "panicpath", File: "gone.go", Message: "long fixed"},
+		{Rule: "errcheck", File: "a.go", Column: 4, Message: "dropped"}, // covers ONE of the two
+		{Rule: "panicpath", File: "gone.go", Column: 9, Message: "long fixed"},
 	}
 	fresh, stale := FilterBaseline(diags, entries)
 	if len(fresh) != 2 {
@@ -175,6 +176,36 @@ func TestBaselineFilter(t *testing.T) {
 	fresh, stale = FilterBaseline(diags, BaselineFromDiagnostics(diags))
 	if len(fresh) != 0 || len(stale) != 0 {
 		t.Fatalf("self-baseline not clean: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+// TestBaselineFilterColumnDistinguishes is the regression test for the
+// same-line aliasing bug: two findings of one rule with identical
+// messages but different columns are different findings. A baseline
+// entry recorded for one column must not bless a new finding at
+// another — fixing the baselined call and introducing a fresh one on
+// the same line has to fail the gate.
+func TestBaselineFilterColumnDistinguishes(t *testing.T) {
+	at := func(col int) Diagnostic {
+		d := Diagnostic{Rule: "loopalloc", Message: "fmt.Sprintf allocates in a loop of hot function f"}
+		d.Position.Filename = "hot.go"
+		d.Position.Column = col
+		return d
+	}
+	entries := []BaselineEntry{
+		{Rule: "loopalloc", File: "hot.go", Column: 10, Message: "fmt.Sprintf allocates in a loop of hot function f"},
+	}
+	fresh, stale := FilterBaseline([]Diagnostic{at(30)}, entries)
+	if len(fresh) != 1 || fresh[0].Position.Column != 30 {
+		t.Fatalf("fresh = %v, want the column-30 finding uncovered", fresh)
+	}
+	if len(stale) != 1 || stale[0].Column != 10 {
+		t.Fatalf("stale = %v, want the column-10 entry reported fixed", stale)
+	}
+	// The entry still covers the finding it was recorded for.
+	fresh, stale = FilterBaseline([]Diagnostic{at(10)}, entries)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("column-10 finding not covered by its own entry: fresh=%v stale=%v", fresh, stale)
 	}
 }
 

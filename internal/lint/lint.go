@@ -261,10 +261,11 @@ func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 }
 
 // All returns the full analyzer suite in stable order: the six
-// syntactic rules from the original suite, then the three
-// dataflow-powered rules built on internal/lint/flow.
+// syntactic rules from the original suite, the three dataflow-powered
+// rules built on internal/lint/flow, then the four perfflow rules for
+// //perf:hot paths built on internal/lint/perfflow.
 func All() []Analyzer {
-	return append(Syntactic(), Dataflow()...)
+	return append(append(Syntactic(), Dataflow()...), Perfflow()...)
 }
 
 // Syntactic returns the per-function pattern-matching rules.

@@ -102,6 +102,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"chanprotocol", ChanProtocol{}, "repro/internal/cluster/fixture", nil},
 		{"timetaint", TimeTaint{}, "repro/internal/sim/fixture", []string{"timetaint/clockutil"}},
 		{"lockflow", LockFlow{}, "", nil},
+		// The perfflow suite: hotness comes from //perf:hot markers in
+		// the fixtures themselves, so no path scoping is needed.
+		{"loopalloc", LoopAlloc{}, "", nil},
+		{"ifacebox", IfaceBox{}, "", nil},
+		{"deferloop", DeferLoop{}, "", nil},
+		{"closureloop", ClosureLoop{}, "", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -270,6 +276,35 @@ func TestDataflowCatchesWhatSyntaxMisses(t *testing.T) {
 			dataflow := Run([]Analyzer{tc.dataflow}, pkgs)
 			if len(dataflow) == 0 {
 				t.Errorf("%s found nothing on its fixture: the seeded bug went uncaught", tc.dataflow.Name())
+			}
+		})
+	}
+}
+
+// TestPerfflowCatchesWhatDataflowMisses is the acceptance check for the
+// perfflow suite: each fixture's seeded hot-loop allocation must be
+// invisible to every v1 syntactic and v2 dataflow analyzer — they prove
+// determinism and protocol safety, not allocation discipline — and
+// caught by the corresponding perfflow rule.
+func TestPerfflowCatchesWhatDataflowMisses(t *testing.T) {
+	cases := []struct {
+		dir      string
+		perfflow Analyzer
+	}{
+		{"loopalloc", LoopAlloc{}},
+		{"ifacebox", IfaceBox{}},
+		{"deferloop", DeferLoop{}},
+		{"closureloop", ClosureLoop{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkgs := loadFixtureSet(t, tc.dir)
+			for _, d := range Run(append(Syntactic(), Dataflow()...), pkgs) {
+				t.Errorf("v1/v2 analyzer unexpectedly caught the seeded hot-loop bug: %s", d)
+			}
+			found := Run([]Analyzer{tc.perfflow}, pkgs)
+			if len(found) == 0 {
+				t.Errorf("%s found nothing on its fixture: the seeded hot-loop bug went uncaught", tc.perfflow.Name())
 			}
 		})
 	}

@@ -1,0 +1,689 @@
+// perfflow.go wires the v3 "perfflow" analyzers: hot-path allocation
+// rules built on internal/lint/perfflow's hotness propagation, escape
+// lattice, and module allocation facts. A function is hot when it
+// carries //perf:hot or is transitively callable from one that does;
+// the rules fire only inside loops of hot functions, and only on
+// allocations the escape lattice cannot prove stack-safe.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/flow"
+	"repro/internal/lint/perfflow"
+)
+
+// Perfflow returns the escape/allocation rules for //perf:hot paths.
+func Perfflow() []Analyzer {
+	return []Analyzer{
+		LoopAlloc{},
+		IfaceBox{},
+		DeferLoop{},
+		ClosureLoop{},
+	}
+}
+
+// perfflowState is the module-wide result shared by the four rules:
+// the hot set, the allocation facts, and a cache of per-declaration
+// escape fixpoints.
+type perfflowState struct {
+	hot   *perfflow.HotSet
+	facts *perfflow.Facts
+	esc   map[*ast.FuncDecl]*perfflow.EscapeResult
+}
+
+func perfflowOf(mod *Module) *perfflowState {
+	return mod.Memoize("perfflow.state", func() any {
+		pkgs := make([]flow.PkgSyntax, 0, len(mod.Pkgs))
+		for _, pkg := range mod.Pkgs {
+			pkgs = append(pkgs, flow.PkgSyntax{Files: pkg.Files, Info: pkg.Info})
+		}
+		return &perfflowState{
+			hot:   perfflow.HotFunctions(pkgs),
+			facts: perfflow.ComputeFacts(pkgs),
+			esc:   make(map[*ast.FuncDecl]*perfflow.EscapeResult),
+		}
+	}).(*perfflowState)
+}
+
+func (st *perfflowState) escapeOf(info *types.Info, fd *ast.FuncDecl) *perfflow.EscapeResult {
+	if r, ok := st.esc[fd]; ok {
+		return r
+	}
+	r := perfflow.AnalyzeEscape(info, fd, func(call *ast.CallExpr, i int) bool {
+		return st.facts.ArgEscapesAt(info, call, i)
+	})
+	st.esc[fd] = r
+	return r
+}
+
+// forEachHotDecl invokes visit for every hot function declaration in
+// the pass's non-test files, with the shared module state and the
+// declaration's escape fixpoint.
+func forEachHotDecl(pass *Pass, visit func(st *perfflowState, fd *ast.FuncDecl, esc *perfflow.EscapeResult)) {
+	if pass.Info == nil {
+		return
+	}
+	st := perfflowOf(pass.Mod)
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.ObjectOf(fd.Name).(*types.Func)
+			if !ok || !st.hot.IsHot(fn) {
+				continue
+			}
+			visit(st, fd, st.escapeOf(pass.Info, fd))
+		}
+	}
+}
+
+// walkHotRegions walks a hot function's body and every nested function
+// literal, each as its own region, reporting every node together with
+// the innermost per-iteration loop enclosing it in the same region (nil
+// outside loops). A for statement's Init and a range statement's
+// operand execute once, so they inherit the surrounding loop context
+// rather than the loop's own; function literals are reported in their
+// enclosing context, then restarted as fresh regions — a defer inside a
+// goroutine body is not "a defer in the loop that spawns goroutines".
+func walkHotRegions(body *ast.BlockStmt, visit func(n ast.Node, loop ast.Stmt)) {
+	regions := []*ast.BlockStmt{body}
+	inIteration := func(l ast.Node, pos token.Pos) bool {
+		switch s := l.(type) {
+		case *ast.ForStmt:
+			if s.Cond != nil && s.Cond.Pos() <= pos && pos <= s.Cond.End() {
+				return true
+			}
+			if s.Post != nil && s.Post.Pos() <= pos && pos <= s.Post.End() {
+				return true
+			}
+			return s.Body.Pos() <= pos && pos <= s.Body.End()
+		case *ast.RangeStmt:
+			return s.Body.Pos() <= pos && pos <= s.Body.End()
+		}
+		return false
+	}
+	for len(regions) > 0 {
+		b := regions[0]
+		regions = regions[1:]
+		var stack []ast.Node
+		innermost := func(pos token.Pos) ast.Stmt {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if inIteration(stack[i], pos) {
+					return stack[i].(ast.Stmt)
+				}
+			}
+			return nil
+		}
+		ast.Inspect(b, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(lit, innermost(lit.Pos()))
+				regions = append(regions, lit.Body)
+				return false // skipped children get no pop callback
+			}
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				visit(n, innermost(n.Pos()))
+				stack = append(stack, n)
+				return true
+			}
+			visit(n, innermost(n.Pos()))
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+func builtinCallName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || pass.Info == nil {
+		return "", false
+	}
+	if _, ok := pass.Info.ObjectOf(id).(*types.Builtin); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// fmtAllocCallee reports fmt formatters whose result is always a fresh
+// allocation, the one stdlib family common enough on hot paths to
+// special-case (Facts deliberately treats other stdlib calls as
+// non-allocating).
+func fmtAllocCallee(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := flow.CalleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return "", false
+	}
+	switch fn.Name() {
+	case "Sprintf", "Sprint", "Sprintln", "Errorf":
+		return "fmt." + fn.Name(), true
+	}
+	return "", false
+}
+
+// LoopAlloc flags heap allocations inside loops of hot functions:
+// escaping make/new/composite literals, calls whose result the module
+// facts prove freshly allocated, fmt formatting, string concatenation,
+// and appends growing a slice from zero capacity (with a mechanical
+// pre-size fix when the loop bound is invariant).
+type LoopAlloc struct{}
+
+func (LoopAlloc) Name() string { return "loopalloc" }
+func (LoopAlloc) Doc() string {
+	return "no per-iteration heap allocation in loops of //perf:hot functions"
+}
+
+func (LoopAlloc) Run(pass *Pass) {
+	forEachHotDecl(pass, func(st *perfflowState, fd *ast.FuncDecl, esc *perfflow.EscapeResult) {
+		origins := emptySliceOrigins(pass, fd)
+		fixedOrigins := make(map[*ast.CallExpr]bool)
+		concatSeen := make(map[ast.Expr]bool)
+		walkHotRegions(fd.Body, func(n ast.Node, loop ast.Stmt) {
+			if loop == nil {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if name, ok := builtinCallName(pass, n); ok {
+					if (name == "make" || name == "new") && esc.SiteEscapes(n) {
+						pass.Report(n.Pos(),
+							fmt.Sprintf("%s in a loop of hot function %s escapes; it allocates every iteration", name, fd.Name.Name),
+							"hoist the allocation out of the loop and reuse it (reset with [:0] or clear)")
+					}
+					return
+				}
+				if name, ok := fmtAllocCallee(pass, n); ok {
+					pass.Report(n.Pos(),
+						fmt.Sprintf("%s allocates in a loop of hot function %s", name, fd.Name.Name),
+						"format into a reused buffer, or move the formatting off the hot path")
+					return
+				}
+				if st.facts.CallReturnsAlloc(pass.Info, n) {
+					callee := flow.CalleeOf(pass.Info, n)
+					pass.Report(n.Pos(),
+						fmt.Sprintf("call to %s allocates its result in a loop of hot function %s", callee.Name(), fd.Name.Name),
+						"hoist the call, or add a variant that appends into a caller-reused buffer")
+				}
+			case *ast.CompositeLit:
+				if !isRefLiteral(pass, n) || !esc.SiteEscapes(n) {
+					return
+				}
+				pass.Report(n.Pos(),
+					fmt.Sprintf("composite literal in a loop of hot function %s escapes; it allocates every iteration", fd.Name.Name),
+					"hoist the literal out of the loop and reuse its storage")
+			case *ast.UnaryExpr:
+				// &T{...} of value kind; reference literals report above.
+				if n.Op != token.AND {
+					return
+				}
+				cl, ok := ast.Unparen(n.X).(*ast.CompositeLit)
+				if !ok || isRefLiteral(pass, cl) || !esc.SiteEscapes(cl) {
+					return
+				}
+				pass.Report(n.Pos(),
+					fmt.Sprintf("&composite literal in a loop of hot function %s escapes; it allocates every iteration", fd.Name.Name),
+					"hoist the object out of the loop and reset its fields per iteration")
+			case *ast.BinaryExpr:
+				if n.Op != token.ADD || !isStringType(pass.TypeOf(n)) {
+					return
+				}
+				if x, ok := ast.Unparen(n.X).(*ast.BinaryExpr); ok {
+					concatSeen[x] = true
+				}
+				if y, ok := ast.Unparen(n.Y).(*ast.BinaryExpr); ok {
+					concatSeen[y] = true
+				}
+				if concatSeen[n] || isConstExpr(pass, n) {
+					return
+				}
+				pass.Report(n.Pos(),
+					fmt.Sprintf("string concatenation allocates in a loop of hot function %s", fd.Name.Name),
+					"use a strings.Builder or a reused []byte hoisted out of the loop")
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypeOf(n.Lhs[0])) {
+					pass.Report(n.Pos(),
+						fmt.Sprintf("string concatenation allocates in a loop of hot function %s", fd.Name.Name),
+						"use a strings.Builder or a reused []byte hoisted out of the loop")
+					return
+				}
+				reportAppendGrowth(pass, fd, n, loop, origins, fixedOrigins)
+			}
+		})
+	})
+}
+
+// reportAppendGrowth flags x = append(x, ...) in a hot loop when x was
+// declared with zero capacity in this function, so the loop's appends
+// repeatedly regrow the backing array. When the declaration is an
+// editable make and the loop bound is invariant, the finding carries a
+// pre-size edit.
+func reportAppendGrowth(pass *Pass, fd *ast.FuncDecl, n *ast.AssignStmt, loop ast.Stmt, origins map[types.Object]*ast.CallExpr, fixedOrigins map[*ast.CallExpr]bool) {
+	if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return
+	}
+	if name, isBuiltin := builtinCallName(pass, call); !isBuiltin || name != "append" {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok || pass.Info.ObjectOf(target) != pass.Info.ObjectOf(lhs) {
+		return
+	}
+	obj := pass.Info.ObjectOf(lhs)
+	origin, declared := origins[obj]
+	if !declared {
+		return
+	}
+	msg := fmt.Sprintf("append grows %s from zero capacity in a loop of hot function %s", lhs.Name, fd.Name.Name)
+	if origin != nil && len(origin.Args) == 2 && !fixedOrigins[origin] {
+		if bound, ok := invariantLoopBound(pass, loop); ok {
+			fixedOrigins[origin] = true
+			pass.ReportFix(n.Pos(), msg,
+				fmt.Sprintf("pre-size the declaration: make(..., 0, %s)", bound),
+				[]Edit{{Pos: origin.Rparen, End: origin.Rparen, New: ", " + bound}})
+			return
+		}
+	}
+	pass.Report(n.Pos(), msg, "pre-size the declaration with the expected element count")
+}
+
+// emptySliceOrigins maps locals declared with zero capacity — x :=
+// make([]T, 0[, 0]), var x []T, x := []T{} — to their defining make
+// call (nil when the declaration offers nothing to edit).
+func emptySliceOrigins(pass *Pass, fd *ast.FuncDecl) map[types.Object]*ast.CallExpr {
+	origins := make(map[types.Object]*ast.CallExpr)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok != token.DEFINE || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				switch rhs := ast.Unparen(s.Rhs[i]).(type) {
+				case *ast.CallExpr:
+					if name, isBuiltin := builtinCallName(pass, rhs); isBuiltin && name == "make" && isZeroCapMake(rhs) && isSliceType(pass.TypeOf(rhs)) {
+						origins[obj] = rhs
+					}
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 && isSliceType(pass.TypeOf(rhs)) {
+						origins[obj] = nil
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if len(s.Values) != 0 {
+				return true
+			}
+			for _, id := range s.Names {
+				if obj := pass.Info.ObjectOf(id); obj != nil && isSliceType(obj.Type()) {
+					origins[obj] = nil
+				}
+			}
+		}
+		return true
+	})
+	return origins
+}
+
+func isZeroCapMake(call *ast.CallExpr) bool {
+	isZero := func(e ast.Expr) bool {
+		lit, ok := ast.Unparen(e).(*ast.BasicLit)
+		return ok && lit.Value == "0"
+	}
+	switch len(call.Args) {
+	case 2:
+		return isZero(call.Args[1])
+	case 3:
+		return isZero(call.Args[2])
+	}
+	return false
+}
+
+// invariantLoopBound extracts a textual iteration-count bound from the
+// innermost loop — len(X) for a range over a container, N for
+// `i := 0; i < N` — when the bound expression is simple (identifiers
+// and selections only) and not reassigned inside the loop.
+func invariantLoopBound(pass *Pass, loop ast.Stmt) (string, bool) {
+	var bound ast.Expr
+	text := ""
+	switch s := loop.(type) {
+	case *ast.RangeStmt:
+		if !isSimpleOperand(s.X) || pass.TypeOf(s.X) == nil {
+			return "", false
+		}
+		switch pass.TypeOf(s.X).Underlying().(type) {
+		case *types.Slice, *types.Array, *types.Map:
+			bound, text = s.X, "len("+types.ExprString(s.X)+")"
+		case *types.Basic: // Go 1.22 range-over-int
+			bound, text = s.X, types.ExprString(s.X)
+		default:
+			return "", false
+		}
+	case *ast.ForStmt:
+		cond, ok := s.Cond.(*ast.BinaryExpr)
+		if !ok || cond.Op != token.LSS || !isSimpleOperand(cond.Y) {
+			return "", false
+		}
+		bound, text = cond.Y, types.ExprString(cond.Y)
+	default:
+		return "", false
+	}
+	if root := rootIdentObj(pass, bound); root != nil {
+		if root.Pos() >= loop.Pos() && root.Pos() <= loop.End() {
+			return "", false // declared by the loop itself
+		}
+		if assignedWithin(pass, loop, root) {
+			return "", false
+		}
+	} else if _, isLit := ast.Unparen(bound).(*ast.BasicLit); !isLit {
+		return "", false
+	}
+	return text, true
+}
+
+func isSimpleOperand(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return isSimpleOperand(x.X)
+	}
+	return false
+}
+
+func rootIdentObj(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.Ident:
+			return pass.Info.ObjectOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+func assignedWithin(pass *Pass, n ast.Node, obj types.Object) bool {
+	assigned := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch s := c.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+					assigned = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := ast.Unparen(s.X).(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+				assigned = true
+			}
+		}
+		return !assigned
+	})
+	return assigned
+}
+
+func isRefLiteral(pass *Pass, cl *ast.CompositeLit) bool {
+	t := pass.TypeOf(cl)
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func isSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// IfaceBox flags conversions of non-pointer-shaped concrete values into
+// interfaces inside hot loops: each such conversion heap-allocates the
+// boxed copy. Pointer-shaped values (pointers, channels, maps, funcs)
+// and constants box without a per-iteration allocation and pass.
+type IfaceBox struct{}
+
+func (IfaceBox) Name() string { return "ifacebox" }
+func (IfaceBox) Doc() string {
+	return "no non-pointer-to-interface boxing in loops of //perf:hot functions"
+}
+
+func (IfaceBox) Run(pass *Pass) {
+	forEachHotDecl(pass, func(st *perfflowState, fd *ast.FuncDecl, esc *perfflow.EscapeResult) {
+		report := func(arg ast.Expr) {
+			pass.Report(arg.Pos(),
+				fmt.Sprintf("value of type %s is boxed into an interface in a loop of hot function %s", pass.TypeOf(arg), fd.Name.Name),
+				"keep the hot path monomorphic: use a concrete-typed API, pass a pointer, or hoist the conversion")
+		}
+		walkHotRegions(fd.Body, func(n ast.Node, loop ast.Stmt) {
+			if loop == nil {
+				return
+			}
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCallBoxing(pass, n, report)
+			case *ast.AssignStmt:
+				if n.Tok != token.ASSIGN || len(n.Lhs) != len(n.Rhs) {
+					return
+				}
+				for i := range n.Lhs {
+					if boxes(pass, pass.TypeOf(n.Lhs[i]), n.Rhs[i]) {
+						report(n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if n.Type == nil {
+					return
+				}
+				for _, v := range n.Values {
+					if boxes(pass, pass.TypeOf(n.Type), v) {
+						report(v)
+					}
+				}
+			case *ast.SendStmt:
+				ct := pass.TypeOf(n.Chan)
+				if ct == nil {
+					return
+				}
+				ch, ok := ct.Underlying().(*types.Chan)
+				if ok && boxes(pass, ch.Elem(), n.Value) {
+					report(n.Value)
+				}
+			}
+		})
+	})
+}
+
+func checkCallBoxing(pass *Pass, call *ast.CallExpr, report func(ast.Expr)) {
+	if pass.Info == nil {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion, e.g. any(x).
+		if len(call.Args) == 1 && boxes(pass, tv.Type, call.Args[0]) {
+			report(call.Args[0])
+		}
+		return
+	}
+	sig, ok := pass.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... forwards the slice, no boxing here
+			}
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxes(pass, pt, arg) {
+			report(arg)
+		}
+	}
+}
+
+// boxes reports whether assigning arg to a target of type to converts a
+// non-pointer-shaped concrete value into an interface — the conversion
+// that allocates per execution.
+func boxes(pass *Pass, to types.Type, arg ast.Expr) bool {
+	if to == nil || !types.IsInterface(to) {
+		return false
+	}
+	at := pass.TypeOf(arg)
+	if at == nil || types.IsInterface(at) {
+		return false
+	}
+	if b, ok := at.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return false
+	}
+	if isConstExpr(pass, arg) {
+		return false // constants box to static storage
+	}
+	return !isPointerShaped(at)
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// DeferLoop flags defer inside loops of hot functions: the deferred
+// calls accumulate until function return, costing a defer record per
+// iteration and delaying the release of whatever was acquired.
+type DeferLoop struct{}
+
+func (DeferLoop) Name() string { return "deferloop" }
+func (DeferLoop) Doc() string {
+	return "no defer inside loops of //perf:hot functions"
+}
+
+func (DeferLoop) Run(pass *Pass) {
+	forEachHotDecl(pass, func(st *perfflowState, fd *ast.FuncDecl, esc *perfflow.EscapeResult) {
+		walkHotRegions(fd.Body, func(n ast.Node, loop ast.Stmt) {
+			if loop == nil {
+				return
+			}
+			if d, ok := n.(*ast.DeferStmt); ok {
+				pass.Report(d.Pos(),
+					fmt.Sprintf("defer in a loop of hot function %s runs only at function return, accumulating one defer record per iteration", fd.Name.Name),
+					"move the loop body into a helper function, or release the resource explicitly at iteration end")
+			}
+		})
+	})
+}
+
+// ClosureLoop flags function literals created inside loops of hot
+// functions when the literal escapes (so each iteration heap-allocates
+// a closure) and captures enclosing state. Literals the escape lattice
+// proves local — called in place, never stored — pass.
+type ClosureLoop struct{}
+
+func (ClosureLoop) Name() string { return "closureloop" }
+func (ClosureLoop) Doc() string {
+	return "no per-iteration escaping closure allocation in loops of //perf:hot functions"
+}
+
+func (ClosureLoop) Run(pass *Pass) {
+	forEachHotDecl(pass, func(st *perfflowState, fd *ast.FuncDecl, esc *perfflow.EscapeResult) {
+		walkHotRegions(fd.Body, func(n ast.Node, loop ast.Stmt) {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || loop == nil || !esc.SiteEscapes(lit) {
+				return
+			}
+			caps := perfflow.Captured(pass.Info, lit)
+			if len(caps) == 0 {
+				return
+			}
+			var varying *types.Var
+			for _, v := range caps {
+				if isLoopVarying(pass, loop, v) {
+					varying = v
+					break
+				}
+			}
+			if varying != nil {
+				pass.Report(lit.Pos(),
+					fmt.Sprintf("closure capturing loop-varying %s escapes in a loop of hot function %s; a closure is allocated every iteration", varying.Name(), fd.Name.Name),
+					"pass the varying values as call arguments, or restructure so the closure is created once")
+			} else {
+				pass.Report(lit.Pos(),
+					fmt.Sprintf("escaping closure in a loop of hot function %s captures only loop-invariant state", fd.Name.Name),
+					"hoist the closure out of the loop and reuse it")
+			}
+		})
+	})
+}
+
+// isLoopVarying reports whether v takes a different value per iteration
+// of loop: declared by or inside the loop (range/for variables
+// included), or assigned within its body.
+func isLoopVarying(pass *Pass, loop ast.Stmt, v *types.Var) bool {
+	if loop.Pos() <= v.Pos() && v.Pos() <= loop.End() {
+		return true
+	}
+	return assignedWithin(pass, loop, v)
+}

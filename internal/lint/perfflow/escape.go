@@ -1,0 +1,515 @@
+package perfflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/flow"
+)
+
+// ArgEscapes answers whether argument i of call escapes through its
+// callee; index -1 asks about the method receiver. A nil ArgEscapes
+// treats every call as escaping every argument (maximally
+// conservative).
+type ArgEscapes func(call *ast.CallExpr, i int) bool
+
+// EscapeResult is the fixed point of one function's escape lattice: the
+// set of allocation sites and local variables that may escape the
+// function. The lattice is the powerset of {sites} ∪ {locals} ordered
+// by inclusion; constraints only ever add members, so the fixpoint
+// exists and is reached by a single worklist pass.
+type EscapeResult struct {
+	escaped map[any]bool
+}
+
+// SiteEscapes reports whether the allocation site n (a make/new call, a
+// composite literal, or a function literal) may escape.
+func (r *EscapeResult) SiteEscapes(n ast.Node) bool {
+	return r != nil && n != nil && r.escaped[n]
+}
+
+// ObjEscapes reports whether the variable obj may escape (flow to a
+// return value, a global, a channel, an escaping callee argument, or a
+// store through a pointer the function does not own).
+func (r *EscapeResult) ObjEscapes(obj types.Object) bool {
+	return r != nil && obj != nil && r.escaped[obj]
+}
+
+// AnalyzeEscape runs the escape lattice over fn's body. The CFG of the
+// declaration body — and of every nested function literal, each its own
+// region — is built with flow.Build; every node contributes constraints
+// (edges "if X escapes then Y escapes") and sinks (things escaped
+// outright). argEscapes resolves what calls do to their arguments;
+// pass Facts.ArgEscapesAt for module-aware resolution or nil for the
+// all-escape worst case.
+//
+// Deliberate approximations, in the direction safe for linting:
+//   - reading an element/field (x[i], x.f, *p) does not escape the
+//     container, and element reads are not tracked as aliases;
+//   - a store through a local pointer is attributed to the pointer
+//     variable, not its (unknown) pointee;
+//   - conversions and append propagate their operands' sources;
+//     results of calls are not aliased to their arguments.
+//
+// The analysis never panics and degrades gracefully without type info
+// (treating every call as escaping and every composite literal as a
+// site).
+func AnalyzeEscape(info *types.Info, fn *ast.FuncDecl, argEscapes ArgEscapes) *EscapeResult {
+	a := &escAnalysis{
+		info:       info,
+		argEscapes: argEscapes,
+		outer:      make(map[types.Object]bool),
+		escaped:    make(map[any]bool),
+		edges:      make(map[any][]any),
+	}
+	if fn == nil || fn.Body == nil {
+		return &EscapeResult{escaped: a.escaped}
+	}
+	// Receiver and parameters: storing through them is visible to the
+	// caller, so such stores escape their sources outright.
+	markFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := a.objOf(name); obj != nil {
+					a.outer[obj] = true
+				}
+			}
+		}
+	}
+	markFields(fn.Recv)
+	markFields(fn.Type.Params)
+	// Named results escape by definition: anything assigned into them is
+	// handed to the caller.
+	if fn.Type.Results != nil {
+		for _, f := range fn.Type.Results.List {
+			for _, name := range f.Names {
+				if obj := a.objOf(name); obj != nil {
+					a.markEscaped(obj)
+				}
+			}
+		}
+	}
+
+	a.regions = append(a.regions, fn.Body)
+	for len(a.regions) > 0 {
+		body := a.regions[0]
+		a.regions = a.regions[1:]
+		cfg := flow.Build(body)
+		for _, b := range cfg.Blocks {
+			for _, n := range b.Nodes {
+				a.node(n)
+			}
+		}
+	}
+	// Drain: propagate escapes along the collected edges to the fixed
+	// point. Each element is marked at most once, so this terminates.
+	for len(a.work) > 0 {
+		n := a.work[len(a.work)-1]
+		a.work = a.work[:len(a.work)-1]
+		for _, v := range a.edges[n] {
+			a.markEscaped(v)
+		}
+	}
+	return &EscapeResult{escaped: a.escaped}
+}
+
+// Captured returns the variables lit captures by reference from its
+// enclosing function — every non-field, non-package-level variable used
+// inside the literal but declared outside it — deduplicated, in
+// declaration order.
+func Captured(info *types.Info, lit *ast.FuncLit) []*types.Var {
+	if info == nil || lit == nil {
+		return nil
+	}
+	seen := make(map[*types.Var]bool)
+	var caps []*types.Var
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if isPkgLevelObj(v) {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			caps = append(caps, v)
+		}
+		return true
+	})
+	sort := func(i, j int) bool { return caps[i].Pos() < caps[j].Pos() }
+	for i := 1; i < len(caps); i++ { // insertion sort; capture lists are tiny
+		for j := i; j > 0 && sort(j, j-1); j-- {
+			caps[j], caps[j-1] = caps[j-1], caps[j]
+		}
+	}
+	return caps
+}
+
+type escAnalysis struct {
+	info       *types.Info
+	argEscapes ArgEscapes
+	// outer: receiver and parameter objects; stores through them escape.
+	outer   map[types.Object]bool
+	escaped map[any]bool
+	// edges: if key escapes, every value escapes too.
+	edges   map[any][]any
+	work    []any
+	regions []*ast.BlockStmt
+}
+
+func (a *escAnalysis) markEscaped(n any) {
+	if n == nil || a.escaped[n] {
+		return
+	}
+	a.escaped[n] = true
+	a.work = append(a.work, n)
+}
+
+func (a *escAnalysis) edge(key any, srcs []any) {
+	if key == nil || len(srcs) == 0 {
+		return
+	}
+	a.edges[key] = append(a.edges[key], srcs...)
+	if a.escaped[key] {
+		for _, s := range srcs {
+			a.markEscaped(s)
+		}
+	}
+}
+
+func (a *escAnalysis) escapeExpr(e ast.Expr) {
+	var srcs []any
+	a.sources(e, &srcs)
+	for _, s := range srcs {
+		a.markEscaped(s)
+	}
+}
+
+// node gathers constraints from one CFG node. Nested function literals
+// are their own regions: the walk stops at them (after recording the
+// literal as a site and wiring its capture edges) and queues their
+// bodies.
+func (a *escAnalysis) node(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch c := c.(type) {
+		case *ast.FuncLit:
+			a.funcLit(c)
+			return false
+		case *ast.ReturnStmt:
+			for _, e := range c.Results {
+				a.escapeExpr(e)
+			}
+		case *ast.SendStmt:
+			a.escapeExpr(c.Value)
+		case *ast.GoStmt:
+			a.escapeCallOperands(c.Call)
+		case *ast.DeferStmt:
+			a.escapeCallOperands(c.Call)
+		case *ast.CallExpr:
+			a.call(c)
+		case *ast.AssignStmt:
+			a.assignStmt(c)
+		case *ast.ValueSpec:
+			a.valueSpec(c)
+		}
+		return true
+	})
+}
+
+// funcLit registers lit as a site, wires "if the literal escapes, its
+// captured variables escape" edges, and queues its body as a region.
+func (a *escAnalysis) funcLit(lit *ast.FuncLit) {
+	caps := Captured(a.info, lit)
+	srcs := make([]any, 0, len(caps))
+	for _, v := range caps {
+		srcs = append(srcs, types.Object(v))
+	}
+	a.edge(lit, srcs)
+	a.regions = append(a.regions, lit.Body)
+}
+
+// escapeCallOperands handles go/defer: the function value and every
+// argument outlive the statement.
+func (a *escAnalysis) escapeCallOperands(call *ast.CallExpr) {
+	a.escapeExpr(call.Fun)
+	for _, arg := range call.Args {
+		a.escapeExpr(arg)
+	}
+}
+
+// call applies the callee's argument-escape behaviour. Conversions and
+// the value-transparent builtins contribute nothing here (sources
+// handles flow-through); panic escapes its argument; everything else
+// asks argEscapes per argument, with unknown callees escaping all.
+func (a *escAnalysis) call(call *ast.CallExpr) {
+	if a.isConversion(call) {
+		return
+	}
+	if name, ok := a.builtinName(call); ok {
+		if name == "panic" {
+			for _, arg := range call.Args {
+				a.escapeExpr(arg)
+			}
+		}
+		return
+	}
+	for i, arg := range call.Args {
+		if a.argEscapes == nil || a.argEscapes(call, i) {
+			a.escapeExpr(arg)
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && !a.isPkgQualifier(sel.X) {
+		if a.argEscapes == nil || a.argEscapes(call, -1) {
+			a.escapeExpr(sel.X)
+		}
+	}
+}
+
+func (a *escAnalysis) assignStmt(s *ast.AssignStmt) {
+	switch {
+	case len(s.Lhs) == len(s.Rhs):
+		for i := range s.Lhs {
+			a.assign(s.Lhs[i], s.Rhs[i])
+		}
+	case len(s.Rhs) == 1:
+		for _, lhs := range s.Lhs {
+			a.assign(lhs, s.Rhs[0])
+		}
+	}
+}
+
+func (a *escAnalysis) valueSpec(s *ast.ValueSpec) {
+	switch {
+	case len(s.Values) == len(s.Names):
+		for i, name := range s.Names {
+			a.assign(name, s.Values[i])
+		}
+	case len(s.Values) == 1:
+		for _, name := range s.Names {
+			a.assign(name, s.Values[0])
+		}
+	}
+}
+
+// assign wires one assignment's flow: a plain local target gets an edge
+// (its sources escape only if it does); a target rooted outside the
+// function's own locals — a global, a parameter, a receiver, or an
+// unresolvable base — escapes the sources outright.
+func (a *escAnalysis) assign(lhs, rhs ast.Expr) {
+	var srcs []any
+	a.sources(rhs, &srcs)
+	if len(srcs) == 0 {
+		return
+	}
+	lhs = ast.Unparen(lhs)
+	if id, ok := lhs.(*ast.Ident); ok {
+		if id.Name == "_" {
+			return
+		}
+		obj := a.objOf(id)
+		if obj == nil || isPkgLevelObj(obj) {
+			for _, s := range srcs {
+				a.markEscaped(s)
+			}
+			return
+		}
+		// A plain rebind, including of a parameter variable: the value
+		// flows into obj and escapes only if obj does.
+		a.edge(obj, srcs)
+		return
+	}
+	root := a.rootObj(lhs)
+	if root == nil || isPkgLevelObj(root) || a.outer[root] {
+		for _, s := range srcs {
+			a.markEscaped(s)
+		}
+		return
+	}
+	a.edge(root, srcs)
+}
+
+// sources collects the escape-relevant carriers of e: local variables
+// whose value e reads, and allocation sites e creates. Composite
+// literals of reference kind (slice, map) and under & are sites; struct
+// and array values are transparent containers whose element sources
+// flow onward.
+func (a *escAnalysis) sources(e ast.Expr, out *[]any) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := a.objOf(e); obj != nil && !isPkgLevelObj(obj) {
+			if _, isVar := obj.(*types.Var); isVar || a.info == nil {
+				*out = append(*out, obj)
+			}
+		}
+	case *ast.ParenExpr:
+		a.sources(e.X, out)
+	case *ast.UnaryExpr:
+		if e.Op != token.AND {
+			return
+		}
+		if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			a.compositeSite(cl, out)
+			return
+		}
+		// &x: if the address escapes, the variable moves to the heap.
+		if root := a.rootObj(e.X); root != nil && !isPkgLevelObj(root) {
+			*out = append(*out, root)
+		}
+	case *ast.CompositeLit:
+		if a.isRefLit(e) {
+			a.compositeSite(e, out)
+			return
+		}
+		// A struct/array value: its element values travel with it.
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				a.sources(kv.Value, out)
+			} else {
+				a.sources(elt, out)
+			}
+		}
+	case *ast.CallExpr:
+		if name, ok := a.builtinName(e); ok {
+			switch name {
+			case "make", "new":
+				*out = append(*out, ast.Node(e))
+			case "append":
+				for _, arg := range e.Args {
+					a.sources(arg, out)
+				}
+			}
+			return
+		}
+		if a.isConversion(e) && len(e.Args) == 1 {
+			a.sources(e.Args[0], out)
+		}
+		// Results of ordinary calls are not aliased to their arguments
+		// (documented approximation); fresh-allocation results are the
+		// analyzers' concern via Facts.CallReturnsAlloc.
+	case *ast.FuncLit:
+		*out = append(*out, ast.Node(e))
+	case *ast.SliceExpr:
+		a.sources(e.X, out)
+	case *ast.TypeAssertExpr:
+		a.sources(e.X, out)
+	}
+}
+
+// compositeSite registers a composite literal as an allocation site and
+// wires element edges: if the literal escapes, the values stored in it
+// escape too.
+func (a *escAnalysis) compositeSite(cl *ast.CompositeLit, out *[]any) {
+	*out = append(*out, ast.Node(cl))
+	var elems []any
+	for _, elt := range cl.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			a.sources(kv.Value, &elems)
+		} else {
+			a.sources(elt, &elems)
+		}
+	}
+	a.edge(cl, elems)
+}
+
+// isRefLit reports whether the composite literal allocates reference
+// storage (slice or map). Without type info every literal counts.
+func (a *escAnalysis) isRefLit(cl *ast.CompositeLit) bool {
+	if a.info == nil {
+		return true
+	}
+	t := a.info.TypeOf(cl)
+	if t == nil {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func (a *escAnalysis) objOf(id *ast.Ident) types.Object {
+	if a.info == nil {
+		return nil
+	}
+	return a.info.ObjectOf(id)
+}
+
+func (a *escAnalysis) rootObj(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return a.objOf(x)
+		default:
+			return nil
+		}
+	}
+}
+
+func (a *escAnalysis) isConversion(call *ast.CallExpr) bool {
+	if a.info == nil {
+		return false
+	}
+	tv, ok := a.info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName resolves call to a builtin's name. Without type info it
+// falls back to matching bare identifiers against the universe
+// builtins, so the analysis stays sane on untypecheckable fragments.
+func (a *escAnalysis) builtinName(call *ast.CallExpr) (string, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if a.info != nil {
+		if _, ok := a.info.ObjectOf(id).(*types.Builtin); ok {
+			return id.Name, true
+		}
+		return "", false
+	}
+	if _, ok := types.Universe.Lookup(id.Name).(*types.Builtin); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+func (a *escAnalysis) isPkgQualifier(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || a.info == nil {
+		return false
+	}
+	_, ok = a.info.ObjectOf(id).(*types.PkgName)
+	return ok
+}
+
+func isPkgLevelObj(obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.PkgName); ok {
+		return true
+	}
+	return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,84 @@
+package perfflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// FuzzEscapeLattice feeds arbitrary function bodies to the escape
+// analysis and asserts its contract: it never panics, it terminates (a
+// fixpoint is reached), it is deterministic, and the lattice is
+// monotone in the call-escape oracle — the all-calls-escape run must
+// mark a superset of what the no-calls-escape run marks. Type-checking
+// is attempted but optional; fragments that don't check exercise the
+// info-free degraded mode.
+func FuzzEscapeLattice(f *testing.F) {
+	seeds := []string{
+		`s := make([]int, 4); _ = s`,
+		`s := make([]int, 4); return s`,
+		`for i := 0; i < 10; i++ { s := make([]int, i); ch <- s }`,
+		`f := func() []int { return buf }; sink(f)`,
+		`b := &box{s: make([]int, 2)}; b.s = nil; global = b`,
+		`var out []int
+for _, v := range in {
+	out = append(out, v*2)
+}
+return out`,
+		`defer close(ch); go func() { ch <- make([]int, 1) }()`,
+		`x := 1; p := &x; *p = 2; return *p`,
+		`switch v := iface.(type) { case []int: return v }`,
+		`m := map[string][]int{"a": {1}}; m["b"] = make([]int, 3)`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc fuzzed() {\n" + body + "\n}"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		var fd *ast.FuncDecl
+		for _, d := range file.Decls {
+			if x, ok := d.(*ast.FuncDecl); ok && x.Name.Name == "fuzzed" {
+				fd = x
+			}
+		}
+		if fd == nil || fd.Body == nil {
+			t.Skip()
+		}
+		// Best-effort type info; most fuzz fragments won't check and the
+		// analysis must survive partial or absent info either way.
+		info := &types.Info{
+			Types: make(map[ast.Expr]types.TypeAndValue),
+			Defs:  make(map[*ast.Ident]types.Object),
+			Uses:  make(map[*ast.Ident]types.Object),
+		}
+		conf := types.Config{Error: func(error) {}}
+		conf.Check("p", fset, []*ast.File{file}, info) //nolint:errcheck // partial info is the point
+
+		conservative := AnalyzeEscape(info, fd, nil)
+		optimistic := AnalyzeEscape(info, fd, func(*ast.CallExpr, int) bool { return false })
+		again := AnalyzeEscape(info, fd, nil)
+
+		// Monotone: fewer escaping calls can only shrink the escape set.
+		for n := range optimistic.escaped {
+			if !conservative.escaped[n] {
+				t.Fatalf("monotonicity violated: escaped under no-calls-escape but not under all-calls-escape")
+			}
+		}
+		// Deterministic: identical inputs give identical fixpoints.
+		if len(again.escaped) != len(conservative.escaped) {
+			t.Fatalf("nondeterministic fixpoint: %d vs %d escaped", len(again.escaped), len(conservative.escaped))
+		}
+		for n := range conservative.escaped {
+			if !again.escaped[n] {
+				t.Fatalf("nondeterministic fixpoint membership")
+			}
+		}
+	})
+}

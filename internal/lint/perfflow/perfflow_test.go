@@ -1,0 +1,348 @@
+package perfflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"repro/internal/lint/flow"
+)
+
+// typecheckSrc parses and type-checks one source file, returning the
+// package syntax slice the perfflow entry points take. Sources that
+// fail to type-check fail the test: these are positive fixtures.
+func typecheckSrc(t *testing.T, src string) ([]flow.PkgSyntax, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return []flow.PkgSyntax{{Files: []*ast.File{file}, Info: info}}, info
+}
+
+func funcDecl(t *testing.T, pkgs []flow.PkgSyntax, name string) (*ast.FuncDecl, *types.Func) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Name.Name != name {
+					continue
+				}
+				fn, _ := pkg.Info.ObjectOf(fd.Name).(*types.Func)
+				return fd, fn
+			}
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil
+}
+
+func TestHotPropagation(t *testing.T) {
+	pkgs, _ := typecheckSrc(t, `package p
+
+type Stepper interface{ Step(int) int }
+
+type Doubler struct{}
+
+func (Doubler) Step(x int) int { return helper(x) * 2 }
+
+type Halver struct{}
+
+func (Halver) Step(x int) int { return x / 2 }
+
+//perf:hot
+func drive(s Stepper, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += s.Step(x)
+	}
+	return total
+}
+
+func helper(x int) int { return x + 1 }
+
+func cold(x int) int { return x - 1 }
+`)
+	hot := HotFunctions(pkgs)
+	want := map[string]bool{
+		"drive":  true,  // marked
+		"Step":   true,  // interface dispatch: both impls
+		"helper": true,  // called from a hot impl
+		"cold":   false, // unreachable from any hot function
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.ObjectOf(fd.Name).(*types.Func)
+				if got := hot.IsHot(fn); got != want[fd.Name.Name] {
+					t.Errorf("IsHot(%s) = %v, want %v", fd.Name.Name, got, want[fd.Name.Name])
+				}
+			}
+		}
+	}
+}
+
+func TestMarked(t *testing.T) {
+	pkgs, _ := typecheckSrc(t, `package p
+
+//perf:hot
+func a() {}
+
+// perf:hot is mentioned but the directive form requires no leading space.
+func b() {}
+
+//perf:hotter
+func c() {}
+`)
+	fa, _ := funcDecl(t, pkgs, "a")
+	fb, _ := funcDecl(t, pkgs, "b")
+	fc, _ := funcDecl(t, pkgs, "c")
+	if !Marked(fa) {
+		t.Error("a should be marked")
+	}
+	if Marked(fb) {
+		t.Error("b (prose mention) should not be marked")
+	}
+	if Marked(fc) {
+		t.Error("c (//perf:hotter) should not be marked")
+	}
+}
+
+func TestEscapeLattice(t *testing.T) {
+	const src = `package p
+
+var global []int
+
+type box struct{ s []int }
+
+func viaReturn() []int {
+	s := make([]int, 4)
+	return s
+}
+
+func viaChannel(ch chan []int) {
+	s := make([]int, 4)
+	ch <- s
+}
+
+func viaGlobal() {
+	s := make([]int, 4)
+	global = s
+}
+
+func viaParamStore(b *box) {
+	s := make([]int, 4)
+	b.s = s
+}
+
+func staysLocal(n int) int {
+	s := make([]int, 8)
+	for i := range s {
+		s[i] = i * n
+	}
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func viaClosure() func() []int {
+	s := make([]int, 4)
+	f := func() []int { return s }
+	return f
+}
+
+func localClosure(n int) int {
+	s := make([]int, 8)
+	add := func(i int) { s[i] = i }
+	for i := 0; i < n && i < 8; i++ {
+		add(i)
+	}
+	return s[0]
+}
+`
+	pkgs, info := typecheckSrc(t, src)
+
+	escaped := map[string]bool{
+		"viaReturn":     true,
+		"viaChannel":    true,
+		"viaGlobal":     true,
+		"viaParamStore": true,
+		"staysLocal":    false,
+		"viaClosure":    true,
+		// The closure is called in place and never escapes, so neither
+		// does the slice it captures... but the closure is passed nowhere
+		// and the analysis keeps it local.
+		"localClosure": false,
+	}
+	for name, want := range escaped {
+		fd, _ := funcDecl(t, pkgs, name)
+		res := AnalyzeEscape(info, fd, nil)
+		// Find the make site.
+		var site ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" && site == nil {
+					site = call
+				}
+			}
+			return true
+		})
+		if site == nil {
+			t.Fatalf("%s: no make site found", name)
+		}
+		if got := res.SiteEscapes(site); got != want {
+			t.Errorf("%s: SiteEscapes = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestEscapeArgResolution(t *testing.T) {
+	const src = `package p
+
+var sink []int
+
+func swallow(s []int) { sink = s }
+
+func observe(s []int) int { return len(s) }
+
+func callsSwallow() {
+	s := make([]int, 4)
+	swallow(s)
+}
+
+func callsObserve() int {
+	s := make([]int, 4)
+	return observe(s)
+}
+`
+	pkgs, info := typecheckSrc(t, src)
+	facts := ComputeFacts(pkgs)
+
+	for name, want := range map[string]bool{"callsSwallow": true, "callsObserve": false} {
+		fd, _ := funcDecl(t, pkgs, name)
+		res := AnalyzeEscape(info, fd, func(call *ast.CallExpr, i int) bool {
+			return facts.ArgEscapesAt(info, call, i)
+		})
+		var site ast.Node
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+					site = call
+				}
+			}
+			return true
+		})
+		if got := res.SiteEscapes(site); got != want {
+			t.Errorf("%s: SiteEscapes = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestFactsReturnsAlloc(t *testing.T) {
+	pkgs, info := typecheckSrc(t, `package p
+
+func fresh() []int { return make([]int, 4) }
+
+func chained() []int { return fresh() }
+
+func viaLocal() []int {
+	s := make([]int, 0, 8)
+	s = append(s, 1)
+	return s
+}
+
+func named() (out []int) {
+	out = make([]int, 2)
+	return
+}
+
+func scalar(x int) int { return x * 2 }
+
+func passthrough(s []int) []int { return s }
+`)
+	facts := ComputeFacts(pkgs)
+	want := map[string]bool{
+		"fresh":    true,
+		"chained":  true,
+		"viaLocal": true,
+		"named":    true,
+		"scalar":   false,
+		// passthrough returns its parameter, not a fresh allocation.
+		"passthrough": false,
+	}
+	for name, wantAlloc := range want {
+		_, fn := funcDecl(t, pkgs, name)
+		ff, ok := facts.Lookup(fn)
+		if !ok {
+			t.Fatalf("no facts for %s", name)
+		}
+		if ff.ReturnsAlloc != wantAlloc {
+			t.Errorf("%s: ReturnsAlloc = %v, want %v", name, ff.ReturnsAlloc, wantAlloc)
+		}
+	}
+	// passthrough escapes its parameter (it is returned).
+	_, fn := funcDecl(t, pkgs, "passthrough")
+	ff, _ := facts.Lookup(fn)
+	if len(ff.ParamEscapes) != 1 || !ff.ParamEscapes[0] {
+		t.Errorf("passthrough: ParamEscapes = %v, want [true]", ff.ParamEscapes)
+	}
+	_, fnScalar := funcDecl(t, pkgs, "scalar")
+	ffScalar, _ := facts.Lookup(fnScalar)
+	if len(ffScalar.ParamEscapes) != 1 || ffScalar.ParamEscapes[0] {
+		t.Errorf("scalar: ParamEscapes = %v, want [false]", ffScalar.ParamEscapes)
+	}
+	if info == nil {
+		t.Fatal("unreachable; keeps info used")
+	}
+}
+
+func TestCaptured(t *testing.T) {
+	pkgs, info := typecheckSrc(t, `package p
+
+func f(n int) func() int {
+	a := 1
+	b := 2
+	_ = b
+	return func() int {
+		c := 3
+		return a + c + n
+	}
+}
+`)
+	fd, _ := funcDecl(t, pkgs, "f")
+	var lit *ast.FuncLit
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		if l, ok := nd.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	caps := Captured(info, lit)
+	var names []string
+	for _, v := range caps {
+		names = append(names, v.Name())
+	}
+	if len(names) != 2 || names[0] != "n" || names[1] != "a" {
+		t.Errorf("Captured = %v, want [n a] (declaration order, b and c excluded)", names)
+	}
+}

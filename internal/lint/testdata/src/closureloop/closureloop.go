@@ -1,0 +1,50 @@
+// Package closureloop is the fixture for the closureloop perfflow
+// rule: a function literal created inside a loop of a //perf:hot
+// function, escaping while capturing enclosing state, heap-allocates a
+// closure every iteration. Literals the escape lattice proves local,
+// and capture-free literals (compiled to static closures), must stay
+// unflagged.
+package closureloop
+
+var callbacks []func() int
+
+//perf:hot
+func hotVaryingCapture(xs []int) {
+	for _, x := range xs {
+		f := func() int { return x } // want "closure capturing loop-varying x escapes in a loop of hot function hotVaryingCapture"
+		callbacks = append(callbacks, f)
+	}
+}
+
+//perf:hot
+func hotInvariantCapture(xs []int, scale int) {
+	for range xs {
+		callbacks = append(callbacks, func() int { return scale }) // want "escaping closure in a loop of hot function hotInvariantCapture captures only loop-invariant state"
+	}
+}
+
+//perf:hot
+func hotLocalClosureOK(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		add := func(v int) { total += v } // called in place, never escapes: not flagged
+		add(x)
+	}
+	return total
+}
+
+//perf:hot
+func hotNoCaptureOK(n int) {
+	for i := 0; i < n; i++ {
+		callbacks = append(callbacks, func() int { return 0 }) // captures nothing: a static closure, not flagged
+	}
+}
+
+//perf:hot
+func hotSuppressed(xs []int) {
+	for _, x := range xs {
+		//lint:ignore closureloop fixture demonstrates a reasoned suppression
+		f := func() int { return x }
+		callbacks = append(callbacks, f)
+	}
+}

@@ -1,0 +1,52 @@
+// Package deferloop is the fixture for the deferloop perfflow rule:
+// defer inside a loop of a //perf:hot function runs only at function
+// return, accumulating one defer record (and one held resource) per
+// iteration.
+package deferloop
+
+var released int
+
+func release() { released++ }
+
+//perf:hot
+func hotDeferInLoop(items []int) int {
+	total := 0
+	for _, v := range items {
+		defer release() // want "defer in a loop of hot function hotDeferInLoop"
+		total += v
+	}
+	return total
+}
+
+//perf:hot
+func hotDeferAtTopOK(items []int) int {
+	defer release() // one defer per call, not per iteration: not flagged
+	total := 0
+	for _, v := range items {
+		total += v
+	}
+	return total
+}
+
+//perf:hot
+func hotDeferInClosureOK(items []int) int {
+	total := 0
+	for _, v := range items {
+		func() {
+			defer release() // scoped to the literal's own region: runs per iteration, not flagged
+			total += v
+		}()
+	}
+	return total
+}
+
+//perf:hot
+func hotSuppressed(items []int) int {
+	total := 0
+	for _, v := range items {
+		//lint:ignore deferloop fixture demonstrates a reasoned suppression
+		defer release()
+		total += v
+	}
+	return total
+}

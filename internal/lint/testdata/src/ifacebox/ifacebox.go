@@ -1,0 +1,71 @@
+// Package ifacebox is the fixture for the ifacebox perfflow rule:
+// boxing a non-pointer-shaped concrete value into an interface inside a
+// loop of a //perf:hot function heap-allocates the boxed copy each
+// iteration. Pointer-shaped values and constants box for free and must
+// stay unflagged.
+package ifacebox
+
+var events []any
+
+type counter struct{ n int }
+
+func (c *counter) observe(v any) {
+	if v != nil {
+		c.n++
+	}
+}
+
+//perf:hot
+func hotBoxesArg(xs []int, c *counter) {
+	for _, x := range xs {
+		c.observe(x) // want "value of type int is boxed into an interface in a loop of hot function hotBoxesArg"
+	}
+}
+
+//perf:hot
+func hotBoxesAssign(xs []int) {
+	var cur any
+	for _, x := range xs {
+		cur = x // want "value of type int is boxed into an interface in a loop of hot function hotBoxesAssign"
+		events = append(events, cur)
+	}
+}
+
+//perf:hot
+func hotBoxesConversion(xs []int) {
+	for _, x := range xs {
+		events = append(events, any(x)) // want "value of type int is boxed into an interface in a loop of hot function hotBoxesConversion"
+	}
+}
+
+//perf:hot
+func hotPointerShapedOK(cs []*counter) {
+	var cur any
+	for _, c := range cs {
+		cur = c // pointer-shaped: boxes without allocating, not flagged
+	}
+	_ = cur
+}
+
+//perf:hot
+func hotConstantOK(n int) {
+	var cur any
+	for i := 0; i < n; i++ {
+		cur = 42 // constant: boxed into static storage, not flagged
+	}
+	_ = cur
+}
+
+//perf:hot
+func hotOutsideLoopOK(x int) {
+	var cur any = x // boxing once per call, not per iteration: not flagged
+	_ = cur
+}
+
+//perf:hot
+func hotSuppressed(xs []int, c *counter) {
+	for _, x := range xs {
+		//lint:ignore ifacebox fixture demonstrates a reasoned suppression
+		c.observe(x)
+	}
+}

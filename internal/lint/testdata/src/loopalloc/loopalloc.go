@@ -1,0 +1,130 @@
+// Package loopalloc is the fixture for the loopalloc perfflow rule:
+// per-iteration heap allocation inside loops of //perf:hot functions.
+// The negative cases pin the escape lattice's precision — stack-safe
+// allocations in hot loops must stay unflagged.
+package loopalloc
+
+import "fmt"
+
+var (
+	sink        []int
+	sinkString  string
+	sinkStrings []string
+	nodeSink    *node
+)
+
+type item struct {
+	vals []int
+}
+
+type node struct {
+	next *node
+	v    int
+}
+
+//perf:hot
+func hotEscaping(items []item) {
+	for _, it := range items {
+		buf := make([]int, len(it.vals)) // want "make in a loop of hot function hotEscaping escapes"
+		copy(buf, it.vals)
+		sink = buf
+	}
+}
+
+//perf:hot
+func hotStackSafe(items []item) int {
+	total := 0
+	for range items {
+		scratch := make([]int, 8) // never escapes: stack-safe, not flagged
+		for i := range scratch {
+			scratch[i] = i
+		}
+		total += scratch[7]
+	}
+	return total
+}
+
+//perf:hot
+func hotNew(n int) {
+	for i := 0; i < n; i++ {
+		p := new(node) // want "new in a loop of hot function hotNew escapes"
+		p.v = i
+		nodeSink = p
+	}
+}
+
+//perf:hot
+func hotPtrLiteral(n int) {
+	for i := 0; i < n; i++ {
+		p := &node{v: i} // want "&composite literal in a loop of hot function hotPtrLiteral escapes"
+		nodeSink = p
+	}
+}
+
+//perf:hot
+func hotSliceLiteral(items []item) {
+	for _, it := range items {
+		pair := []int{it.vals[0], len(it.vals)} // want "composite literal in a loop of hot function hotSliceLiteral escapes"
+		sink = pair
+	}
+}
+
+// freshCopy allocates its result, so every call in a hot loop is a
+// per-iteration allocation; the module facts carry this across the call.
+func freshCopy(vals []int) []int {
+	out := make([]int, len(vals))
+	copy(out, vals)
+	return out
+}
+
+//perf:hot
+func hotCallsAllocator(items []item) {
+	for _, it := range items {
+		sink = freshCopy(it.vals) // want "call to freshCopy allocates its result in a loop of hot function hotCallsAllocator"
+	}
+}
+
+//perf:hot
+func hotFormats(items []item) {
+	for i := range items {
+		sinkStrings = append(sinkStrings, fmt.Sprintf("item-%d", i)) // want "fmt.Sprintf allocates in a loop of hot function hotFormats"
+	}
+}
+
+//perf:hot
+func hotConcat(names []string) {
+	joined := ""
+	for _, n := range names {
+		joined += n // want "string concatenation allocates in a loop of hot function hotConcat"
+	}
+	sinkString = joined
+}
+
+//perf:hot
+func hotGrowth(items []item) []int {
+	out := make([]int, 0)
+	for _, it := range items {
+		out = append(out, it.vals[0]) // want "append grows out from zero capacity in a loop of hot function hotGrowth"
+	}
+	return out
+}
+
+//perf:hot
+func hotSuppressed(items []item) {
+	for _, it := range items {
+		//lint:ignore loopalloc fixture demonstrates a reasoned suppression
+		buf := make([]int, len(it.vals))
+		copy(buf, it.vals)
+		sink = buf
+	}
+}
+
+// cold is identical to hotEscaping but unmarked and unreachable from
+// any hot function, so nothing fires.
+func cold(items []item) {
+	for _, it := range items {
+		buf := make([]int, len(it.vals))
+		copy(buf, it.vals)
+		sink = buf
+	}
+}

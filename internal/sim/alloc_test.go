@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+)
+
+// TestAllocGate pins the outcome of dogfooding the perfflow analyzers
+// on the execution machine: once the iterState buffers are warm, one
+// full scatter/apply iteration allocates nothing. The gate drives the
+// three phase methods exactly as run does (minus the per-record
+// bookkeeping, which legitimately allocates each Record's PerPartition
+// slice) on the all-active PageRank workload, where every buffer
+// reaches its steady-state capacity after the first iteration.
+func TestAllocGate(t *testing.T) {
+	g := simGraph(t)
+	a := hashAssign(t, g, 4)
+	ex, err := newExecution(g, kernels.NewPageRank(0, 0), a, func(*Record) {}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workers=1 keeps the fan-out on its serial path: worker goroutines
+	// are a real (bounded, amortized) allocation, but they would drown
+	// the signal this gate is after — per-iteration buffer churn.
+	ex.workers = 1
+	st := ex.newIterState("allocgate")
+
+	iter := 0
+	step := func() {
+		rec := Record{Iteration: iter, FrontierSize: st.frontier.Count()}
+		st.prepare(iter, &rec)
+		st.scatterPhase(&rec)
+		next, _, _ := st.applyPhase()
+		next.ActivateAll()
+		st.spare, st.frontier = st.frontier, next
+		iter++
+	}
+	for i := 0; i < 3; i++ {
+		step() // warm the staged-partial lists and frontier buckets
+	}
+	if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+		t.Fatalf("steady-state scatter/apply iteration allocates %.1f times, want 0", allocs)
+	}
+}

@@ -243,6 +243,7 @@ func fanOut(workers, n int, task func(worker, i int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//lint:ignore closureloop one worker goroutine per fan-out call, bounded by the worker count and amortized over the items it claims
 		go func(w int) {
 			defer wg.Done()
 			for {
@@ -352,210 +353,45 @@ func (e *execution) traversePartition(p, iter int, s *traverseScratch, front []g
 // internal/cluster). The tree depends only on the partition assignment —
 // never on the worker count or goroutine schedule — so every Workers
 // setting, including the serial Workers=1 path, is bit-identical.
+//
+//perf:hot
 func (e *execution) run(engineName string) (*Run, error) {
-	g, k := e.g, e.k
-	n := g.NumVertices()
-	tr := k.Traits()
-	parts := e.assign.Parts
-	P := e.assign.K
-	W := e.workerCount()
-
-	values := make([]float64, n)
-	for v := 0; v < n; v++ {
-		values[v] = k.InitialValue(g, graph.VertexID(v))
-	}
-	frontier := kernels.NewFrontier(n)
-	if init := k.InitialFrontier(g); init == nil {
-		frontier.ActivateAll()
-	} else {
-		for _, v := range init {
-			frontier.Activate(v)
-		}
-	}
-
-	run := &Run{Engine: engineName, Kernel: k.Name()}
-	res := &kernels.Result{Values: values}
-
-	agg := make([]float64, n)
-	has := make([]bool, n)
-	identity := k.Identity()
-
-	scratch := make([]*traverseScratch, W)
-	for w := range scratch {
-		s := &traverseScratch{stamp: make([]int64, n), slot: make([]int32, n)}
-		for i := range s.stamp {
-			s.stamp[i] = -1
-		}
-		scratch[w] = s
-	}
-	partUpd := make([][]update, P)
-	tallies := make([]partTally, P)
-	bytesPerPart := make([]int64, P)
-	opsPerPart := make([]float64, P)
-	partialsPerPart := make([]int64, P)
-	degSumPerPart := make([]int64, P)
-	partFrontier := make([][]graph.VertexID, P)
-
-	// Apply-phase chunk grid: P contiguous vertex ranges, fixed per run,
-	// so the residual reduction tree is independent of the worker count.
-	chunkLo := func(c int) int { return n * c / P }
-	residualPerChunk := make([]float64, P)
-	appliesPerChunk := make([]int64, P)
-	activatedPerChunk := make([][]graph.VertexID, P)
-
-	partPolicy, hasPartPolicy := e.policy.(PartitionPolicy)
-
-	var prev *Record
+	st := e.newIterState(engineName)
+	run, res, tr := st.run, st.res, st.tr
 	for iter := 0; iter < tr.MaxIterations; iter++ {
-		if frontier.Count() == 0 {
+		if st.frontier.Count() == 0 {
 			res.Converged = true
 			break
 		}
-		rec := Record{Iteration: iter, FrontierSize: frontier.Count()}
-
-		// Bucket the frontier by owning partition and gather the
-		// pre-iteration stats the offload policy may inspect.
-		for p := 0; p < P; p++ {
-			partFrontier[p] = partFrontier[p][:0]
-		}
-		pre := PreStats{
-			Iteration:            iter,
-			FrontierSize:         rec.FrontierSize,
-			Partitions:           P,
-			NumVertices:          n,
-			StaticPartialUpdates: e.staticPartials,
-			Prev:                 prev,
-		}
-		for p := 0; p < P; p++ {
-			degSumPerPart[p] = 0
-		}
-		frontier.ForEach(func(v graph.VertexID) {
-			d := g.OutDegree(v)
-			pre.FrontierDegreeSum += d
-			p := parts[v]
-			degSumPerPart[p] += d
-			partFrontier[p] = append(partFrontier[p], v)
-		})
-		var partMask []bool
-		if hasPartPolicy {
-			pp := make([]PartPre, P)
-			for p := 0; p < P; p++ {
-				pp[p] = PartPre{
-					FrontierSize:      int64(len(partFrontier[p])),
-					FrontierDegreeSum: degSumPerPart[p],
-				}
-				if e.staticPartialsPerPart != nil {
-					pp[p].StaticPartialUpdates = e.staticPartialsPerPart[p]
-				}
-			}
-			partMask = partPolicy.DecidePartitions(pre, pp)
-			rec.Offloaded = anyTrue(partMask)
-		} else {
-			rec.Offloaded = e.policy.Decide(pre)
-		}
-
-		for i := range agg {
-			agg[i] = identity
-			has[i] = false
-		}
-
-		// Traversal phase: partitions (memory nodes) fan out across the
-		// worker pool, each producing a private staged-partial list.
-		fanOut(W, P, func(w, p int) {
-			e.traversePartition(p, iter, scratch[w], partFrontier[p], values, tr, &partUpd[p], &tallies[p])
-		})
-
-		// Ordered merge: fold every partition's staged partials and
-		// counters into the Record in partition order 0..P-1 — the fixed
-		// reduction tree that keeps parallel sums bit-identical.
-		for p := 0; p < P; p++ {
-			ta := &tallies[p]
-			rec.ActiveEdges += ta.activeEdges
-			rec.CrossEdges += ta.crossEdges
-			rec.CachedEdgeBytes += ta.cachedBytes
-			rec.RemotePartialUpdates += ta.remote
-			bytesPerPart[p] = ta.edgeBytes
-			opsPerPart[p] = ta.ops
-			partialsPerPart[p] = int64(len(partUpd[p]))
-			rec.PartialUpdates += partialsPerPart[p]
-			for _, u := range partUpd[p] {
-				if has[u.dst] {
-					agg[u.dst] = k.Aggregate(agg[u.dst], u.val)
-				} else {
-					agg[u.dst] = u.val
-					has[u.dst] = true
-					rec.DistinctDsts++
-				}
-			}
-		}
+		rec := Record{Iteration: iter, FrontierSize: st.frontier.Count()}
+		partMask := st.prepare(iter, &rec)
+		st.scatterPhase(&rec)
 		res.FrontierSizes = append(res.FrontierSizes, rec.FrontierSize)
 		res.ActiveEdges = append(res.ActiveEdges, rec.ActiveEdges)
 		res.Iterations++
 
 		// Stateful kernels consume the frontier's pending state once the
 		// traversal is complete, before any Apply of this iteration.
-		if sk, ok := k.(kernels.StatefulKernel); ok {
-			frontier.ForEach(sk.OnScattered)
+		if sk, ok := st.k.(kernels.StatefulKernel); ok {
+			st.frontier.ForEach(sk.OnScattered)
 		}
 
-		// Update phase: disjoint chunk ranges, no write contention. Each
-		// chunk's residual, apply count, and activations land in its own
-		// slot; the fold below runs in chunk order, so the next frontier's
-		// activation order (ascending vertex id) and the residual's
-		// reduction tree match the serial path exactly.
-		next := kernels.NewFrontier(n)
-		fanOut(W, P, func(_, c int) {
-			lo, hi := chunkLo(c), chunkLo(c+1)
-			act := activatedPerChunk[c][:0]
-			var residual float64
-			var applied int64
-			if tr.AllVerticesActive {
-				for v := lo; v < hi; v++ {
-					nv, _ := k.Apply(g, graph.VertexID(v), values[v], agg[v], has[v])
-					residual += math.Abs(nv - values[v])
-					values[v] = nv
-				}
-				applied = int64(hi - lo)
-			} else {
-				for v := lo; v < hi; v++ {
-					if !has[v] {
-						continue
-					}
-					applied++
-					nv, activate := k.Apply(g, graph.VertexID(v), values[v], agg[v], true)
-					values[v] = nv
-					if activate {
-						act = append(act, graph.VertexID(v))
-					}
-				}
-			}
-			activatedPerChunk[c] = act
-			residualPerChunk[c] = residual
-			appliesPerChunk[c] = applied
-		})
-		var residual float64
-		var applies int64
-		for c := 0; c < P; c++ {
-			residual += residualPerChunk[c]
-			applies += appliesPerChunk[c]
-			for _, v := range activatedPerChunk[c] {
-				next.Activate(v)
-			}
-		}
+		next, residual, applies := st.applyPhase()
 		if tr.AllVerticesActive {
 			if tr.Epsilon > 0 && residual < tr.Epsilon {
 				res.Converged = true
-				e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
+				e.finishRecord(&rec, applies, st.bytesPerPart, st.opsPerPart, st.partialsPerPart, partMask, next)
 				run.Records = append(run.Records, rec)
-				prev = &run.Records[len(run.Records)-1]
+				st.prev = &run.Records[len(run.Records)-1]
 				break
 			}
 			next.ActivateAll()
 		}
-		e.finishRecord(&rec, applies, bytesPerPart, opsPerPart, partialsPerPart, partMask, next)
+		e.finishRecord(&rec, applies, st.bytesPerPart, st.opsPerPart, st.partialsPerPart, partMask, next)
 		run.Records = append(run.Records, rec)
-		prev = &run.Records[len(run.Records)-1]
-		frontier = next
+		st.prev = &run.Records[len(run.Records)-1]
+		st.spare = st.frontier
+		st.frontier = next
 	}
 	if !res.Converged && res.Iterations < tr.MaxIterations {
 		res.Converged = true
@@ -563,6 +399,267 @@ func (e *execution) run(engineName string) (*Run, error) {
 	run.Result = res
 	run.finalize()
 	return run, nil
+}
+
+// iterState is the reusable working set of the scatter/apply machine:
+// every buffer the iteration loop touches, allocated once so the
+// steady-state loop allocates nothing (the alloc gate in alloc_test.go
+// holds the three phases at zero allocations per iteration). The two
+// fan-out task closures are created once here too; the scatter task
+// reads the current iteration from the iter field instead of capturing
+// a fresh per-iteration variable.
+type iterState struct {
+	e  *execution
+	g  *graph.Graph
+	k  kernels.Kernel
+	n  int
+	tr kernels.Traits
+	P  int
+	W  int
+
+	values []float64
+	// frontier is the current active set; spare is the recycled next
+	// frontier — each iteration resets it, fills it, and swaps the two,
+	// the double buffer that replaces a NewFrontier per iteration.
+	frontier *kernels.Frontier
+	spare    *kernels.Frontier
+
+	run *Run
+	res *kernels.Result
+
+	agg      []float64
+	has      []bool
+	identity float64
+
+	scratch         []traverseScratch
+	partUpd         [][]update
+	tallies         []partTally
+	bytesPerPart    []int64
+	opsPerPart      []float64
+	partialsPerPart []int64
+	degSumPerPart   []int64
+	partFrontier    [][]graph.VertexID
+
+	residualPerChunk  []float64
+	appliesPerChunk   []int64
+	activatedPerChunk [][]graph.VertexID
+
+	pp            []PartPre
+	partPolicy    PartitionPolicy
+	hasPartPolicy bool
+
+	prev *Record
+	iter int
+
+	scatterTask func(w, p int)
+	applyTask   func(w, c int)
+}
+
+// chunkLo bounds the apply-phase chunk grid: P contiguous vertex
+// ranges, fixed per run, so the residual reduction tree is independent
+// of the worker count.
+func (st *iterState) chunkLo(c int) int { return st.n * c / st.P }
+
+// newIterState allocates the whole working set up front. Per-worker
+// traversal scratch rides on two flat arenas, so the setup loop
+// assembles slice views instead of allocating per worker.
+func (e *execution) newIterState(engineName string) *iterState {
+	g, k := e.g, e.k
+	n := g.NumVertices()
+	st := &iterState{
+		e: e, g: g, k: k, n: n,
+		tr: k.Traits(),
+		P:  e.assign.K,
+		W:  e.workerCount(),
+	}
+	st.values = make([]float64, n)
+	for v := 0; v < n; v++ {
+		st.values[v] = k.InitialValue(g, graph.VertexID(v))
+	}
+	st.frontier = kernels.NewFrontier(n)
+	st.spare = kernels.NewFrontier(n)
+	if init := k.InitialFrontier(g); init == nil {
+		st.frontier.ActivateAll()
+	} else {
+		for _, v := range init {
+			st.frontier.Activate(v)
+		}
+	}
+
+	st.run = &Run{Engine: engineName, Kernel: k.Name()}
+	st.res = &kernels.Result{Values: st.values}
+
+	st.agg = make([]float64, n)
+	st.has = make([]bool, n)
+	st.identity = k.Identity()
+
+	st.scratch = make([]traverseScratch, st.W)
+	stamps := make([]int64, st.W*n)
+	slots := make([]int32, st.W*n)
+	for i := range stamps {
+		stamps[i] = -1
+	}
+	for w := range st.scratch {
+		st.scratch[w] = traverseScratch{
+			stamp: stamps[w*n : (w+1)*n],
+			slot:  slots[w*n : (w+1)*n],
+		}
+	}
+	st.partUpd = make([][]update, st.P)
+	st.tallies = make([]partTally, st.P)
+	st.bytesPerPart = make([]int64, st.P)
+	st.opsPerPart = make([]float64, st.P)
+	st.partialsPerPart = make([]int64, st.P)
+	st.degSumPerPart = make([]int64, st.P)
+	st.partFrontier = make([][]graph.VertexID, st.P)
+	st.residualPerChunk = make([]float64, st.P)
+	st.appliesPerChunk = make([]int64, st.P)
+	st.activatedPerChunk = make([][]graph.VertexID, st.P)
+
+	st.partPolicy, st.hasPartPolicy = e.policy.(PartitionPolicy)
+	if st.hasPartPolicy {
+		st.pp = make([]PartPre, st.P)
+	}
+
+	// Traversal phase: partitions (memory nodes) fan out across the
+	// worker pool, each producing a private staged-partial list.
+	st.scatterTask = func(w, p int) {
+		st.e.traversePartition(p, st.iter, &st.scratch[w], st.partFrontier[p], st.values, st.tr, &st.partUpd[p], &st.tallies[p])
+	}
+	// Update phase: disjoint chunk ranges, no write contention. Each
+	// chunk's residual, apply count, and activations land in its own
+	// slot; applyPhase folds them in chunk order, so the next frontier's
+	// activation order (ascending vertex id) and the residual's
+	// reduction tree match the serial path exactly.
+	st.applyTask = func(_, c int) {
+		lo, hi := st.chunkLo(c), st.chunkLo(c+1)
+		act := st.activatedPerChunk[c][:0]
+		var residual float64
+		var applied int64
+		if st.tr.AllVerticesActive {
+			for v := lo; v < hi; v++ {
+				nv, _ := st.k.Apply(st.g, graph.VertexID(v), st.values[v], st.agg[v], st.has[v])
+				residual += math.Abs(nv - st.values[v])
+				st.values[v] = nv
+			}
+			applied = int64(hi - lo)
+		} else {
+			for v := lo; v < hi; v++ {
+				if !st.has[v] {
+					continue
+				}
+				applied++
+				nv, activate := st.k.Apply(st.g, graph.VertexID(v), st.values[v], st.agg[v], true)
+				st.values[v] = nv
+				if activate {
+					act = append(act, graph.VertexID(v))
+				}
+			}
+		}
+		st.activatedPerChunk[c] = act
+		st.residualPerChunk[c] = residual
+		st.appliesPerChunk[c] = applied
+	}
+	return st
+}
+
+// prepare buckets the frontier by owning partition, gathers the
+// pre-iteration stats the offload policy may inspect, and records the
+// policy's decision on rec. It returns the per-partition offload mask
+// (nil under scalar policies).
+func (st *iterState) prepare(iter int, rec *Record) []bool {
+	st.iter = iter
+	for p := 0; p < st.P; p++ {
+		st.partFrontier[p] = st.partFrontier[p][:0]
+	}
+	pre := PreStats{
+		Iteration:            iter,
+		FrontierSize:         rec.FrontierSize,
+		Partitions:           st.P,
+		NumVertices:          st.n,
+		StaticPartialUpdates: st.e.staticPartials,
+		Prev:                 st.prev,
+	}
+	for p := 0; p < st.P; p++ {
+		st.degSumPerPart[p] = 0
+	}
+	parts := st.e.assign.Parts
+	st.frontier.ForEach(func(v graph.VertexID) {
+		d := st.g.OutDegree(v)
+		pre.FrontierDegreeSum += d
+		p := parts[v]
+		st.degSumPerPart[p] += d
+		st.partFrontier[p] = append(st.partFrontier[p], v)
+	})
+	var partMask []bool
+	if st.hasPartPolicy {
+		for p := 0; p < st.P; p++ {
+			st.pp[p] = PartPre{
+				FrontierSize:      int64(len(st.partFrontier[p])),
+				FrontierDegreeSum: st.degSumPerPart[p],
+			}
+			if st.e.staticPartialsPerPart != nil {
+				st.pp[p].StaticPartialUpdates = st.e.staticPartialsPerPart[p]
+			}
+		}
+		partMask = st.partPolicy.DecidePartitions(pre, st.pp)
+		rec.Offloaded = anyTrue(partMask)
+	} else {
+		rec.Offloaded = st.e.policy.Decide(pre)
+	}
+	return partMask
+}
+
+// scatterPhase clears the aggregation arrays, fans the traversal out
+// across the worker pool, and folds every partition's staged partials
+// and counters into rec in partition order 0..P-1 — the fixed
+// reduction tree that keeps parallel sums bit-identical.
+func (st *iterState) scatterPhase(rec *Record) {
+	for i := range st.agg {
+		st.agg[i] = st.identity
+		st.has[i] = false
+	}
+	fanOut(st.W, st.P, st.scatterTask)
+	k := st.k
+	for p := 0; p < st.P; p++ {
+		ta := &st.tallies[p]
+		rec.ActiveEdges += ta.activeEdges
+		rec.CrossEdges += ta.crossEdges
+		rec.CachedEdgeBytes += ta.cachedBytes
+		rec.RemotePartialUpdates += ta.remote
+		st.bytesPerPart[p] = ta.edgeBytes
+		st.opsPerPart[p] = ta.ops
+		st.partialsPerPart[p] = int64(len(st.partUpd[p]))
+		rec.PartialUpdates += st.partialsPerPart[p]
+		for _, u := range st.partUpd[p] {
+			if st.has[u.dst] {
+				st.agg[u.dst] = k.Aggregate(st.agg[u.dst], u.val)
+			} else {
+				st.agg[u.dst] = u.val
+				st.has[u.dst] = true
+				rec.DistinctDsts++
+			}
+		}
+	}
+}
+
+// applyPhase recycles the spare frontier as the next active set, fans
+// the update phase out over the fixed chunk grid, and folds the
+// per-chunk residuals, apply counts, and activations in chunk order.
+// The caller swaps frontier and spare once the iteration's records are
+// final.
+func (st *iterState) applyPhase() (next *kernels.Frontier, residual float64, applies int64) {
+	next = st.spare
+	next.Reset()
+	fanOut(st.W, st.P, st.applyTask)
+	for c := 0; c < st.P; c++ {
+		residual += st.residualPerChunk[c]
+		applies += st.appliesPerChunk[c]
+		for _, v := range st.activatedPerChunk[c] {
+			next.Activate(v)
+		}
+	}
+	return next, residual, applies
 }
 
 // finishRecord derives the byte quantities from the iteration counters,

@@ -100,9 +100,9 @@ func TestWorkerCountResolution(t *testing.T) {
 func TestAggregatedMoveBytesBoundary(t *testing.T) {
 	const ub = kernels.UpdateBytes
 	cases := []struct {
-		name                     string
-		partials, distinct, buf  int64
-		wantEntries              int64
+		name                    string
+		partials, distinct, buf int64
+		wantEntries             int64
 	}{
 		{"no updates", 0, 0, 4, 0},
 		{"unlimited buffer", 100, 10, 0, 10},

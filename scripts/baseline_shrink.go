@@ -21,6 +21,7 @@ import (
 type entry struct {
 	Rule    string `json:"rule"`
 	File    string `json:"file"`
+	Column  int    `json:"column"`
 	Message string `json:"message"`
 }
 

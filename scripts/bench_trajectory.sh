@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# bench_trajectory.sh — run the engine microbenchmarks with -benchmem and
+# record ns/op, allocs/op, bytes, and custom metrics (edges/s) to a JSON
+# artifact, so every PR's speedup or regression stays visible in-repo.
+#
+# usage: scripts/bench_trajectory.sh [out.json]
+#
+# The committed trajectory artifacts are named BENCH_<nnnn>.json (one per
+# PR that moves a performance number); without an argument the script
+# writes a date-stamped file for ad-hoc runs. BENCHTIME overrides the
+# benchmark duration (check.sh uses 1x as a wiring smoke).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(date -u +%Y%m%d).json}"
+benchtime="${BENCHTIME:-1s}"
+
+go test -run '^$' -bench 'BenchmarkEngine' -benchmem -benchtime "$benchtime" . \
+	| tee /dev/stderr \
+	| go run scripts/benchjson/benchjson.go >"$out"
+echo "bench_trajectory: wrote $out" >&2

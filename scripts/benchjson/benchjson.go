@@ -1,0 +1,95 @@
+//go:build ignore
+
+// benchjson converts `go test -bench -benchmem` output on stdin into
+// the BENCH_*.json trajectory shape committed at the repo root:
+//
+//	go test -run '^$' -bench BenchmarkEngine -benchmem . | go run scripts/benchjson/benchjson.go
+//
+// Every value column is kept under its unit name (ns/op -> "ns_op",
+// B/op -> "B_op", custom metrics like edges/s -> "edges_s"), so future
+// PRs diff speedups and allocation regressions in-repo instead of in
+// lost terminal scrollback.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strings"
+	"time"
+)
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	type bench struct {
+		Name       string             `json:"name"`
+		Iterations int64              `json:"iterations"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}
+	out := struct {
+		Schema     string  `json:"schema"`
+		Date       string  `json:"date"`
+		Go         string  `json:"go"`
+		CPU        string  `json:"cpu,omitempty"`
+		Benchmarks []bench `json:"benchmarks"`
+	}{
+		Schema:     "bench-trajectory/v1",
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		Benchmarks: []bench{},
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if cpu, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.CPU = cpu
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		b := bench{
+			Name:    strings.TrimPrefix(m[1], "Benchmark"),
+			Metrics: map[string]float64{},
+		}
+		if _, err := fmt.Sscan(m[2], &b.Iterations); err != nil {
+			continue
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			var v float64
+			if _, err := fmt.Sscan(fields[i], &v); err != nil {
+				continue
+			}
+			unit := strings.Map(func(r rune) rune {
+				if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+					return r
+				}
+				return '_'
+			}, fields[i+1])
+			b.Metrics[unit] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if len(out.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+}

@@ -56,7 +56,18 @@ else
     echo "(no baseline at HEAD; skipped)"
 fi
 
+# Perfflow dogfood: the //perf:hot analyzers must stay clean on the
+# repo's own hot paths (also covered by TestSuiteCleanOnRepo, but run
+# here standalone so a hot-loop allocation fails fast with positions).
+step go run ./cmd/ndplint -rules loopalloc,ifacebox,deferloop,closureloop -baseline lint-baseline.json ./...
+
 step go test ./...
+
+# Alloc gate: the steady-state scatter/apply iteration of the execution
+# machine (and a recycled frontier refill) must allocate nothing —
+# the measured outcome the perfflow rules exist to protect.
+step go test -count=1 -run '^TestAllocGate$' ./internal/sim/
+step go test -count=1 -run '^TestFrontierReuseAllocGate$' ./internal/kernels/
 
 # The verification harness package gets its own -count=1 -race stage:
 # its differential oracles execute every layer (sim, cluster, core,
@@ -86,6 +97,19 @@ step go test -race ./...
 # regression that breaks the benchmark harness fails the gate.
 step go test -run '^$' -bench '^BenchmarkParallelSpeedup$' -benchtime 1x .
 
+# Bench trajectory wiring: one-iteration engine microbenchmarks through
+# the JSON recorder, so the committed BENCH_*.json pipeline can never
+# rot silently. The real artifacts are produced with the default
+# benchtime: scripts/bench_trajectory.sh BENCH_<nnnn>.json
+echo
+echo "==> bench trajectory smoke"
+BENCHTIME=1x scripts/bench_trajectory.sh /tmp/bench-trajectory-smoke.json >/dev/null 2>&1
+grep -q '"allocs_op"' /tmp/bench-trajectory-smoke.json || {
+    echo "check.sh: bench trajectory JSON missing allocs_op" >&2
+    exit 1
+}
+echo "ok"
+
 if [ "$FUZZ_SECONDS" -gt 0 ]; then
     # Fuzz targets as "name package" pairs — add a line to add a target.
     # -fuzz matches by regex; each target needs its own run because the
@@ -99,6 +123,10 @@ if [ "$FUZZ_SECONDS" -gt 0 ]; then
         # The multilevel partitioner's contract (coverage, balance,
         # coarsening round trip) on arbitrary graphs.
         "FuzzMultilevelPartition ./internal/partition/"
+        # The escape lattice behind the perfflow rules: arbitrary
+        # function bodies must reach a deterministic, monotone fixpoint
+        # without panicking.
+        "FuzzEscapeLattice ./internal/lint/perfflow/"
     )
     for target in "${fuzz_targets[@]}"; do
         read -r name pkg <<< "$target"
