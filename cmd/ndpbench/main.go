@@ -21,29 +21,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 
+	"repro/internal/cliconf"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	scale := flag.Float64("scale", 0.5, "dataset scale factor")
-	seed := flag.Uint64("seed", 42, "dataset generation seed")
-	priters := flag.Int("priters", 10, "PageRank iterations")
+	var ef cliconf.ExperimentFlags
+	ef.Register(flag.CommandLine)
 	csv := flag.Bool("csv", false, "emit CSV tables")
 	plot := flag.Bool("plot", false, "render ASCII series plots")
 	outdir := flag.String("outdir", "", "also write each artifact as <outdir>/<id>.csv plus <id>.notes.txt")
-	workers := flag.Int("workers", 0, "worker pool size for simulator + experiment fan-out (0 = all cores); results are identical for every setting")
 	flag.Usage = usage
 	flag.Parse()
-	if *workers > 0 {
-		// One knob caps both layers of parallelism: the experiment
-		// drivers' goroutine fan-out and each engine's worker pool size
-		// via GOMAXPROCS. Artifacts are bit-identical for every setting.
-		runtime.GOMAXPROCS(*workers)
-	}
+	ef.ApplyWorkers()
 
 	args := flag.Args()
 	if len(args) == 0 {
@@ -60,7 +53,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	cfg := experiments.Config{Scale: *scale, Seed: *seed, PageRankIterations: *priters}
+	cfg := experiments.Config{Scale: ef.Scale, Seed: ef.Seed, PageRankIterations: ef.PRIters}
 	for _, id := range ids {
 		if err := emit(id, cfg, *csv, *plot, *outdir); err != nil {
 			fmt.Fprintf(os.Stderr, "ndpbench: %v\n", err)

@@ -11,117 +11,118 @@
 //	ndprun -graph my.gcsr -kernel sssp -arch disaggregated -cache 0.25
 //	ndprun -dataset wiki-talk -kernel cc -cluster -treefanin 4 \
 //	    -fault-seed 7 -fault-drop 0.2 -fault-dup 0.1 -crash 2@1
+//
+// With -server, ndprun becomes a client of a running ndpserve instance:
+// it uploads the graph as a named snapshot, submits the same
+// (kernel, architecture, …) selection as a job, polls to completion,
+// and prints the served result — noting when the server answered from
+// its result cache.
+//
+//	ndprun -dataset wiki-talk -kernel cc -server http://127.0.0.1:8090
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
+	"repro/internal/cliconf"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/gen"
-	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/kernels"
 	"repro/internal/metrics"
 	"repro/internal/ndp"
 	"repro/internal/partition"
-	"repro/internal/runtime"
+	"repro/internal/serve"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		datasetName = flag.String("dataset", "", "dataset stand-in: twitter7 | uk-2005 | com-livejournal | wiki-talk")
-		graphFile   = flag.String("graph", "", "graph file (.gcsr or edge list) instead of -dataset")
-		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
-		seed        = flag.Uint64("seed", 42, "generation/partitioning seed")
-		kernelName  = flag.String("kernel", "pagerank", "kernel: pagerank | pagerank-delta | ppr | cc | bfs | sssp | sswp | indegree | reach")
-		arch        = flag.String("arch", "disaggregated-ndp", "architecture: distributed | distributed-ndp | disaggregated | disaggregated-ndp | all")
-		partitions  = flag.Int("partitions", 8, "memory nodes / partitions")
-		computes    = flag.Int("computes", 2, "compute nodes")
-		partitioner = flag.String("partitioner", "hash", "hash | range | chunk | ldg | multilevel")
-		policyName  = flag.String("policy", "always", "offload policy: always | never | threshold | heuristic | oracle | mixed-oracle | partition-heuristic")
-		aggregate   = flag.Bool("aggregate", false, "enable in-network aggregation")
-		device      = flag.String("device", "CXL-CMS", "memory-node NDP device (see ndpbench table1)")
-		cacheFrac   = flag.Float64("cache", 0, "host edge-cache fraction of the edge list (disaggregated only)")
-		swBuffer    = flag.Int64("switchbuffer", 0, "switch aggregation buffer entries (0 = unlimited)")
-		priters     = flag.Int("priters", 10, "PageRank iterations")
-		workers     = flag.Int("workers", 0, "simulator worker pool size (0 = GOMAXPROCS); results are identical for every setting")
-		perIter     = flag.Bool("iters", false, "print the per-iteration ledger")
-		csv         = flag.Bool("csv", false, "emit the summary as CSV")
-		iterCSV     = flag.String("itercsv", "", "write the per-iteration ledger as CSV to this file (single -arch only)")
+		gf cliconf.GraphFlags
+		ef cliconf.EngineFlags
+		ff cliconf.FaultFlags
+		cf cliconf.ClusterFlags
+	)
+	gf.Register(flag.CommandLine)
+	ef.Register(flag.CommandLine)
+	ff.Register(flag.CommandLine)
+	cf.Register(flag.CommandLine)
+	var (
+		perIter = flag.Bool("iters", false, "print the per-iteration ledger")
+		csv     = flag.Bool("csv", false, "emit the summary as CSV")
+		iterCSV = flag.String("itercsv", "", "write the per-iteration ledger as CSV to this file (single -arch only)")
 
 		clusterMode = flag.Bool("cluster", false, "run on the concurrent actor cluster instead of the simulator (disaggregated-ndp only)")
-		treeFanIn   = flag.Int("treefanin", 0, "cluster: switch-tree fan-in (0 = flat single switch, >= 2 = SHARP-style tree)")
-		chanDepth   = flag.Int("chandepth", 0, "cluster: link channel depth (0 = default)")
-		faultSeed   = flag.Uint64("fault-seed", 0, "cluster: fault-injection seed")
-		faultDrop   = flag.Float64("fault-drop", 0, "cluster: per-transmission drop probability on update links")
-		faultDup    = flag.Float64("fault-dup", 0, "cluster: duplicate-delivery probability on update links")
-		faultDelay  = flag.Float64("fault-delay", 0, "cluster: delayed-delivery probability on update links")
-		crashSpec   = flag.String("crash", "", "cluster: memory-node crash schedule, e.g. 2@1,4@3 (node@iteration)")
+
+		serverURL = flag.String("server", "", "submit to a running ndpserve instance at this base URL instead of executing locally")
+		tenant    = flag.String("tenant", "", "tenant name sent with -server submissions")
+		snapName  = flag.String("snapshot", "", "snapshot name for -server (default: the dataset or graph-file label)")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*datasetName, *graphFile, *scale, *seed)
+	g, err := gf.Load()
 	if err != nil {
 		fatal(err)
 	}
-	k, err := makeKernel(*kernelName, *priters)
-	if err != nil {
-		fatal(err)
-	}
-	p, err := makePartitioner(*partitioner, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	assign, err := p.Partition(g, *partitions)
-	if err != nil {
-		fatal(err)
-	}
-	pol, err := makePolicy(*policyName)
-	if err != nil {
-		fatal(err)
-	}
-	dev, err := ndp.ByName(*device)
-	if err != nil {
-		fatal(err)
-	}
-	topo := sim.DefaultTopology(*computes, *partitions)
-	topo.MemDevice = dev
-	topo.SwitchBufferEntries = *swBuffer
 
-	if *clusterMode {
-		if *arch != "disaggregated-ndp" {
-			fatal(fmt.Errorf("-cluster runs the concurrent disaggregated-ndp implementation; got -arch %s", *arch))
-		}
-		plan := cluster.FaultPlan{
-			Seed:   *faultSeed,
-			Update: cluster.LinkFaults{Drop: *faultDrop, Duplicate: *faultDup, Delay: *faultDelay},
-		}
-		plan.Crash, err = parseCrashSpec(*crashSpec)
-		if err != nil {
-			fatal(err)
-		}
-		if err := runCluster(g, k, p, *computes, *partitions, *aggregate, *treeFanIn, *chanDepth, plan, *csv); err != nil {
+	if *serverURL != "" {
+		if err := runServed(g, gf, ef, cf, *clusterMode, *serverURL, *tenant, *snapName, *csv); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
-	archs := []string{*arch}
-	if *arch == "all" {
+	k, err := ef.MakeKernel()
+	if err != nil {
+		fatal(err)
+	}
+	p, err := ef.MakePartitioner(gf.Seed)
+	if err != nil {
+		fatal(err)
+	}
+	assign, err := p.Partition(g, ef.Partitions)
+	if err != nil {
+		fatal(err)
+	}
+	pol, err := ef.MakePolicy()
+	if err != nil {
+		fatal(err)
+	}
+	dev, err := ndp.ByName(ef.Device)
+	if err != nil {
+		fatal(err)
+	}
+	topo := sim.DefaultTopology(ef.Computes, ef.Partitions)
+	topo.MemDevice = dev
+	topo.SwitchBufferEntries = ef.SwitchBuf
+
+	if *clusterMode {
+		if ef.Arch != "disaggregated-ndp" {
+			fatal(fmt.Errorf("-cluster runs the concurrent disaggregated-ndp implementation; got -arch %s", ef.Arch))
+		}
+		plan, err := ff.Plan()
+		if err != nil {
+			fatal(err)
+		}
+		if err := runCluster(g, k, p, ef.Computes, ef.Partitions, ef.Aggregate, cf.TreeFanIn, cf.ChannelDepth, plan, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	archs := []string{ef.Arch}
+	if ef.Arch == "all" {
 		archs = []string{"distributed", "distributed-ndp", "disaggregated", "disaggregated-ndp"}
 	}
 	t := metrics.NewTable(
 		fmt.Sprintf("%s on %s (V=%d E=%d, %d partitions via %s, policy %s)",
-			k.Name(), graphLabel(*datasetName, *graphFile), g.NumVertices(), g.NumEdges(), *partitions, p.Name(), pol.Name()),
+			k.Name(), gf.Label(), g.NumVertices(), g.NumEdges(), ef.Partitions, p.Name(), pol.Name()),
 		"Architecture", "Iterations", "Moved", "Sync events", "Est time (ms)", "Energy (mJ)", "Offload OK")
 	for _, an := range archs {
-		e, err := makeEngine(an, topo, assign, pol, *aggregate, *cacheFrac, *workers, g)
+		e, err := cliconf.MakeEngine(an, topo, assign, pol, ef.Aggregate, ef.CacheFrac, ef.Workers, g)
 		if err != nil {
 			fatal(err)
 		}
@@ -171,32 +172,79 @@ func main() {
 	}
 }
 
-// parseCrashSpec parses "node@iteration" pairs: "2@1,4@3" kills memory
-// node 2 at the start of iteration 1 and node 4 at iteration 3.
-func parseCrashSpec(spec string) (map[int]int, error) {
-	if spec == "" {
-		return nil, nil
+// runServed submits the run to an ndpserve instance: upload the graph
+// as a snapshot, submit the job spec, wait, and print the served result.
+func runServed(g *graph.Graph, gf cliconf.GraphFlags, ef cliconf.EngineFlags, cf cliconf.ClusterFlags,
+	clusterMode bool, serverURL, tenant, snapName string, csv bool) error {
+	ctx := context.Background()
+	c := serve.NewClient(serverURL, tenant)
+	if err := c.Health(ctx); err != nil {
+		return fmt.Errorf("server %s: %w", serverURL, err)
 	}
-	crash := make(map[int]int)
-	for _, part := range strings.Split(spec, ",") {
-		node, iter, ok := strings.Cut(strings.TrimSpace(part), "@")
-		if !ok {
-			return nil, fmt.Errorf("crash entry %q: want node@iteration", part)
+	if snapName == "" {
+		snapName = gf.Label()
+		if snapName == "" {
+			snapName = "adhoc"
 		}
-		n, err := strconv.Atoi(node)
-		if err != nil {
-			return nil, fmt.Errorf("crash entry %q: bad node: %v", part, err)
-		}
-		i, err := strconv.Atoi(iter)
-		if err != nil {
-			return nil, fmt.Errorf("crash entry %q: bad iteration: %v", part, err)
-		}
-		if _, dup := crash[n]; dup {
-			return nil, fmt.Errorf("crash entry %q: node %d scheduled twice", part, n)
-		}
-		crash[n] = i
 	}
-	return crash, nil
+	snap, err := c.PutSnapshotGraph(ctx, snapName, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snapshot %s: V=%d E=%d digest %.12s…\n", snap.Name, snap.Vertices, snap.Edges, snap.Digest)
+
+	engine := serve.EngineSim
+	if clusterMode {
+		engine = serve.EngineCluster
+	}
+	aggregate := ef.Aggregate
+	spec := serve.JobSpec{
+		Snapshot:     snapName,
+		Engine:       engine,
+		Kernel:       ef.Kernel,
+		PRIters:      ef.PRIters,
+		Arch:         ef.Arch,
+		Partitions:   ef.Partitions,
+		Computes:     ef.Computes,
+		Partitioner:  ef.Partitioner,
+		Seed:         gf.Seed,
+		Policy:       ef.Policy,
+		Aggregation:  &aggregate,
+		TreeFanIn:    cf.TreeFanIn,
+		ChannelDepth: cf.ChannelDepth,
+		Workers:      ef.Workers,
+	}
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	info, err = c.Wait(ctx, info.ID)
+	if err != nil {
+		return err
+	}
+	if info.State != serve.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", info.ID, info.State, info.Error)
+	}
+	if info.CacheHit {
+		fmt.Fprintf(os.Stderr, "job %s answered from the server's result cache\n", info.ID)
+	}
+	res, err := c.Result(ctx, info.ID)
+	if err != nil {
+		return err
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("%s served by %s (snapshot %s, job %s)", res.Kernel, serverURL, snapName, info.ID),
+		"Engine", "Iterations", "Converged", "Moved", "Cache hit")
+	moved := res.TotalDataMovementBytes
+	if moved == 0 {
+		moved = res.SwitchToCompute + res.Writeback
+	}
+	t.AddRow(res.Engine, res.Iterations, res.Converged, graph.FormatBytes(moved), info.CacheHit)
+	render := t.Render
+	if csv {
+		render = t.RenderCSV
+	}
+	return render(os.Stdout)
 }
 
 // runCluster executes the kernel on the concurrent actor implementation,
@@ -217,7 +265,7 @@ func runCluster(g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
 	if err != nil {
 		return err
 	}
-	out, err := sys.RunConcurrent(g, k)
+	out, err := sys.RunConcurrent(context.Background(), g, k)
 	if err != nil {
 		return err
 	}
@@ -246,92 +294,6 @@ func runCluster(g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
 		fr = ft.RenderCSV
 	}
 	return fr(os.Stdout)
-}
-
-func loadGraph(dataset, file string, scale float64, seed uint64) (*graph.Graph, error) {
-	switch {
-	case file != "":
-		if strings.HasSuffix(file, ".gcsr") {
-			return gio.LoadBinaryFile(file)
-		}
-		return gio.LoadEdgeListFile(file)
-	case dataset != "":
-		d, err := gen.ByName(dataset)
-		if err != nil {
-			return nil, err
-		}
-		return d.Generate(scale, gen.Config{Seed: seed, Weighted: true, DropSelfLoops: true})
-	default:
-		return nil, fmt.Errorf("one of -dataset or -graph is required")
-	}
-}
-
-func graphLabel(dataset, file string) string {
-	if file != "" {
-		return file
-	}
-	return dataset
-}
-
-func makeKernel(name string, priters int) (kernels.Kernel, error) {
-	if name == "pagerank" || name == "pr" {
-		return kernels.NewPageRank(priters, kernels.DefaultDamping), nil
-	}
-	return kernels.ByName(name)
-}
-
-func makePartitioner(name string, seed uint64) (partition.Partitioner, error) {
-	switch name {
-	case "hash":
-		return partition.Hash{}, nil
-	case "range":
-		return partition.Range{}, nil
-	case "chunk":
-		return partition.Chunk{}, nil
-	case "ldg":
-		return partition.LDG{}, nil
-	case "multilevel":
-		return partition.Multilevel{Seed: seed}, nil
-	default:
-		return nil, fmt.Errorf("unknown partitioner %q", name)
-	}
-}
-
-func makePolicy(name string) (sim.OffloadPolicy, error) {
-	switch name {
-	case "always":
-		return sim.AlwaysOffload{}, nil
-	case "never":
-		return sim.NeverOffload{}, nil
-	case "threshold":
-		return runtime.ThresholdPolicy{}, nil
-	case "heuristic":
-		return runtime.Heuristic{}, nil
-	case "oracle":
-		return runtime.Oracle{}, nil
-	case "mixed-oracle":
-		return runtime.MixedOracle{}, nil
-	case "partition-heuristic":
-		return runtime.PartitionHeuristic{}, nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
-	}
-}
-
-func makeEngine(arch string, topo sim.Topology, assign *partition.Assignment, pol sim.OffloadPolicy, aggregate bool, cacheFrac float64, workers int, g *graph.Graph) (sim.Engine, error) {
-	switch arch {
-	case "distributed":
-		return &sim.Distributed{Topo: topo, Assign: assign, Workers: workers}, nil
-	case "distributed-ndp":
-		return &sim.DistributedNDP{Topo: topo, Assign: assign, Workers: workers}, nil
-	case "disaggregated":
-		cache := int64(cacheFrac * float64(g.NumEdges()*kernels.EdgeBytes))
-		return &sim.Disaggregated{Topo: topo, Assign: assign, CacheBytes: cache, Workers: workers}, nil
-	case "disaggregated-ndp":
-		return &sim.DisaggregatedNDP{Topo: topo, Assign: assign, Policy: pol, InNetworkAggregation: aggregate, Workers: workers}, nil
-	default:
-		return nil, fmt.Errorf("unknown architecture %q", arch)
-	}
 }
 
 func fatal(err error) {

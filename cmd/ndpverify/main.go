@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	count := fs.Int("scenarios", 25, "number of scenarios to generate and check")
 	file := fs.String("scenario", "", "replay a single scenario from a JSON reproducer instead of generating")
 	shrinkBudget := fs.Int("shrink", 64, "max scenario executions spent minimizing a failure")
+	served := fs.Bool("served", false, "run the served-vs-offline oracle: each scenario also round-trips through an in-process ndpserve instance")
 	verbose := fs.Bool("v", false, "print each scenario's full JSON before checking it")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,7 +79,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			printJSON(out, sc)
 		}
-		if err := verify.Check(sc); err != nil {
+		check := verify.Check
+		if *served {
+			check = checkWithServed
+		}
+		if err := check(sc); err != nil {
 			out.printf("FAIL %3d  %s\n      %v\n", sc.Index, sc.String(), err)
 			reportShrunk(out, sc, *shrinkBudget)
 			return finish(1, out, stderr)
@@ -87,6 +92,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	out.printf("ndpverify: %d scenarios checked (seed %d): all oracles held\n", *count, *seed)
 	return finish(0, out, stderr)
+}
+
+// checkWithServed runs the standard oracle battery, then the
+// served-vs-offline oracle on the same scenario.
+func checkWithServed(sc verify.Scenario) error {
+	if err := verify.Check(sc); err != nil {
+		return err
+	}
+	return verify.CheckServed(sc)
 }
 
 // finish folds a pending write failure into the exit code: a verdict

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sort"
@@ -42,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ccRun, err := sys.Run(und, kernels.NewConnectedComponents())
+	ccRun, err := sys.Run(context.Background(), und, kernels.NewConnectedComponents())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func main() {
 
 	// Stage 3: rank within the component (fresh partitioning of the
 	// subgraph across the pool).
-	prRun, err := sys.Run(sub, kernels.NewPageRank(10, 0.85))
+	prRun, err := sys.Run(context.Background(), sub, kernels.NewPageRank(10, 0.85))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -33,7 +35,7 @@ func main() {
 	}
 
 	// 3. Run a kernel.
-	run, err := sys.Run(g, kernels.NewPageRank(10, 0.85))
+	run, err := sys.Run(context.Background(), g, kernels.NewPageRank(10, 0.85))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sort"
@@ -33,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runs, err := sys.Compare(und, kernels.NewConnectedComponents())
+	runs, err := sys.Compare(context.Background(), und, kernels.NewConnectedComponents())
 	if err != nil {
 		log.Fatal(err)
 	}

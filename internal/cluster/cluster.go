@@ -24,6 +24,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -206,6 +207,14 @@ type writebackBatch struct {
 // vertices (and so their out-edge lists) to memory nodes, exactly as in
 // the simulator.
 func Run(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) (*Outcome, error) {
+	return RunContext(context.Background(), g, k, assign, cfg)
+}
+
+// RunContext is Run with cancellation: the driver checks the context at
+// each bulk-synchronous iteration boundary — the one point where every
+// actor is parked — and on cancellation walks the normal shutdown
+// sequence (so no goroutine leaks) before returning ctx.Err().
+func RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Config) (*Outcome, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -223,5 +232,5 @@ func Run(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment, cfg Con
 		return nil, fmt.Errorf("cluster: stateful kernels share residual tables and cannot run as distributed actors")
 	}
 	d := newDriver(g, k, assign, cfg)
-	return d.run()
+	return d.run(ctx)
 }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"math"
 	"slices"
 	"sort"
@@ -270,8 +271,12 @@ func (d *driver) buildTree(depth int) {
 	d.levels = level // number of switch levels; prev[0] is the root (parent nil)
 }
 
-// run spawns the actors and coordinates iterations to completion.
-func (d *driver) run() (*Outcome, error) {
+// run spawns the actors and coordinates iterations to completion. The
+// context is checked at each iteration boundary, where every actor is
+// parked on its control channel; cancellation therefore never interrupts
+// an in-flight protocol round — it walks the normal shutdown sequence
+// and returns ctx.Err().
+func (d *driver) run(ctx context.Context) (*Outcome, error) {
 	g, k := d.g, d.k
 	n := g.NumVertices()
 	tr := k.Traits()
@@ -348,8 +353,15 @@ func (d *driver) run() (*Outcome, error) {
 		served[a] = []int{a}
 	}
 
+	var runErr error
 	frontierNonEmpty := true
 	for iter := 0; iter < tr.MaxIterations && frontierNonEmpty; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				runErr = err
+				break
+			}
+		}
 		// Crash schedule: actors scheduled to fail now die before doing
 		// any work this iteration. The heartbeat timeout that would
 		// reveal the failure is modeled in virtual time, so detection
@@ -467,6 +479,9 @@ func (d *driver) run() (*Outcome, error) {
 		for j, v := range frag.ids {
 			values[v] = frag.values[j]
 		}
+	}
+	if runErr != nil {
+		return nil, runErr
 	}
 	out.Values = values
 	out.Faults = d.st.summary()

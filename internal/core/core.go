@@ -6,11 +6,15 @@
 //
 //	g, _ := gen.ComLiveJournal.Generate(1, gen.Config{Seed: 1})
 //	sys, _ := core.New(core.DisaggregatedNDP, core.WithMemoryNodes(16))
-//	run, _ := sys.Run(g, kernels.NewPageRank(20, 0.85))
+//	run, _ := sys.Run(context.Background(), g, kernels.NewPageRank(20, 0.85))
 //	fmt.Println(run.TotalDataMovementBytes)
+//
+// Every Run* method takes a context and returns the unified *Result; the
+// Engine interface (engine.go) is the seam they all dispatch through.
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -186,8 +190,8 @@ func (s *System) Partition(g *graph.Graph) (*partition.Assignment, error) {
 	return s.partitioner.Partition(g, s.topo.MemoryNodes)
 }
 
-// engine assembles the sim engine for a prepared assignment.
-func (s *System) engine(assign *partition.Assignment) sim.Engine {
+// simEngine assembles the sim engine for a prepared assignment.
+func (s *System) simEngine(assign *partition.Assignment) sim.ContextEngine {
 	switch s.arch {
 	case Distributed:
 		return &sim.Distributed{Topo: s.topo, Assign: assign, Workers: s.workers}
@@ -206,20 +210,18 @@ func (s *System) engine(assign *partition.Assignment) sim.Engine {
 }
 
 // Run partitions the graph and executes the kernel on the configured
-// architecture, returning the full per-iteration record.
-func (s *System) Run(g *graph.Graph, k kernels.Kernel) (*sim.Run, error) {
-	assign, err := s.Partition(g)
-	if err != nil {
-		return nil, fmt.Errorf("core: partitioning: %w", err)
-	}
-	return s.RunWithAssignment(g, k, assign)
+// architecture, returning the unified result with the full
+// per-iteration record. The context cancels the run at iteration
+// boundaries.
+func (s *System) Run(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Result, error) {
+	return s.Engine().Run(ctx, g, k, RunConfig{})
 }
 
 // RunWithAssignment executes the kernel with a caller-provided partition
 // assignment (reuse one assignment across kernels to amortise
 // partitioning cost).
-func (s *System) RunWithAssignment(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*sim.Run, error) {
-	return s.engine(assign).Run(g, k)
+func (s *System) RunWithAssignment(ctx context.Context, g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*Result, error) {
+	return s.Engine().Run(ctx, g, k, RunConfig{Assignment: assign})
 }
 
 // ClusterConfig assembles the concurrent cluster's configuration from
@@ -245,15 +247,8 @@ func (s *System) ClusterConfig() cluster.Config {
 // The cluster's shape — tree fan-in, channel depth, fault plan — comes
 // from the System's options (WithTreeFanIn, WithChannelDepth,
 // WithFaultPlan) via ClusterConfig.
-func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel) (*cluster.Outcome, error) {
-	if s.arch != DisaggregatedNDP {
-		return nil, fmt.Errorf("core: concurrent execution models the disaggregated NDP architecture; got %s", s.arch)
-	}
-	assign, err := s.Partition(g)
-	if err != nil {
-		return nil, fmt.Errorf("core: partitioning: %w", err)
-	}
-	return s.RunConcurrentWithAssignment(g, k, assign)
+func (s *System) RunConcurrent(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Result, error) {
+	return s.ConcurrentEngine().Run(ctx, g, k, RunConfig{})
 }
 
 // RunConcurrentWithAssignment is RunConcurrent with a caller-provided
@@ -262,11 +257,8 @@ func (s *System) RunConcurrent(g *graph.Graph, k kernels.Kernel) (*cluster.Outco
 // cluster on the *same* partitioning, so any divergence between them is
 // the execution model's, not the partitioner's (the verification harness
 // relies on this).
-func (s *System) RunConcurrentWithAssignment(g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*cluster.Outcome, error) {
-	if s.arch != DisaggregatedNDP {
-		return nil, fmt.Errorf("core: concurrent execution models the disaggregated NDP architecture; got %s", s.arch)
-	}
-	return cluster.Run(g, k, assign, s.ClusterConfig())
+func (s *System) RunConcurrentWithAssignment(ctx context.Context, g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) (*Result, error) {
+	return s.ConcurrentEngine().Run(ctx, g, k, RunConfig{Assignment: assign})
 }
 
 // Compare runs the kernel on all four architectures with this system's
@@ -277,13 +269,20 @@ func (s *System) RunConcurrentWithAssignment(g *graph.Graph, k kernels.Kernel, a
 // WithAggregation pinned a choice each clone re-derives the per-arch
 // aggregation default (so the rows match fresh per-arch New systems no
 // matter which architecture the base was built as).
-func (s *System) Compare(g *graph.Graph, k kernels.Kernel) ([]*sim.Run, error) {
+func (s *System) Compare(ctx context.Context, g *graph.Graph, k kernels.Kernel) ([]*Result, error) {
 	assign, err := s.Partition(g)
 	if err != nil {
 		return nil, fmt.Errorf("core: partitioning: %w", err)
 	}
+	return s.CompareWithAssignment(ctx, g, k, assign)
+}
+
+// CompareWithAssignment is Compare with a caller-provided partition
+// assignment — all four architecture rows run on exactly that
+// partitioning.
+func (s *System) CompareWithAssignment(ctx context.Context, g *graph.Graph, k kernels.Kernel, assign *partition.Assignment) ([]*Result, error) {
 	archs := Architectures()
-	runs := make([]*sim.Run, len(archs))
+	runs := make([]*Result, len(archs))
 	errs := make([]error, len(archs))
 	// Stateful kernels hold per-run side state in the kernel value itself,
 	// so their four runs must not overlap; stateless kernels fan out.
@@ -296,7 +295,7 @@ func (s *System) Compare(g *graph.Graph, k kernels.Kernel) ([]*sim.Run, error) {
 			clone.aggregation = arch == DisaggregatedNDP
 		}
 		one := func(i int, arch Arch, clone System) {
-			run, err := clone.RunWithAssignment(g, k, assign)
+			run, err := clone.RunWithAssignment(ctx, g, k, assign)
 			if err != nil {
 				errs[i] = fmt.Errorf("core: %s: %w", arch, err)
 				return

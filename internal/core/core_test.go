@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"testing"
@@ -58,7 +59,7 @@ func TestRunAllArchitectures(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		run, err := s.Run(g, k)
+		run, err := s.Run(context.Background(), g, k)
 		if err != nil {
 			t.Fatalf("%s: %v", arch, err)
 		}
@@ -79,7 +80,7 @@ func TestCompareIsTableIIOrdered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := s.Compare(g, kernels.NewPageRank(5, 0.85))
+	runs, err := s.Compare(context.Background(), g, kernels.NewPageRank(5, 0.85))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,11 +142,11 @@ func TestRunWithAssignmentReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := s.RunWithAssignment(g, kernels.NewBFS(0), assign)
+	r1, err := s.RunWithAssignment(context.Background(), g, kernels.NewBFS(0), assign)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := s.RunWithAssignment(g, kernels.NewConnectedComponents(), assign)
+	r2, err := s.RunWithAssignment(context.Background(), g, kernels.NewConnectedComponents(), assign)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +179,11 @@ func TestRunConcurrentMatchesSimulator(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := kernels.NewPageRank(5, 0.85)
-	simRun, err := s.Run(g, k)
+	simRun, err := s.Run(context.Background(), g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := s.RunConcurrent(g, k)
+	out, err := s.RunConcurrent(context.Background(), g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestRunConcurrentOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := base.RunConcurrent(g, k)
+	ref, err := base.RunConcurrent(context.Background(), g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +229,7 @@ func TestRunConcurrentOptions(t *testing.T) {
 	if cfg.TreeFanIn != 2 || cfg.ChannelDepth != 8 || cfg.Fault.Seed != 13 {
 		t.Fatalf("options did not reach cluster config: %+v", cfg)
 	}
-	out, err := faulty.RunConcurrent(g, k)
+	out, err := faulty.RunConcurrent(context.Background(), g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestRunConcurrentRejectsOtherArchitectures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.RunConcurrent(g, kernels.NewBFS(0)); err == nil {
+	if _, err := s.RunConcurrent(context.Background(), g, kernels.NewBFS(0)); err == nil {
 		t.Error("accepted concurrent execution of the distributed architecture")
 	}
 }
@@ -287,7 +288,7 @@ func TestCompareMatchesFreshSystems(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		runs, err := base.Compare(g, k)
+		runs, err := base.Compare(context.Background(), g, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -296,7 +297,7 @@ func TestCompareMatchesFreshSystems(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			want, err := fresh.RunWithAssignment(g, k, assign)
+			want, err := fresh.RunWithAssignment(context.Background(), g, k, assign)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -327,7 +328,7 @@ func TestCompareHonorsExplicitAggregation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := s.Compare(g, k)
+	runs, err := s.Compare(context.Background(), g, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +350,7 @@ func TestCompareParallelStatefulKernel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	runs, err := s.Compare(g, kernels.NewPageRankDelta(0.85, 1e-7))
+	runs, err := s.Compare(context.Background(), g, kernels.NewPageRankDelta(0.85, 1e-7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestCompareParallelStatefulKernel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := fresh.RunWithAssignment(g, kernels.NewPageRankDelta(0.85, 1e-7), assign)
+		want, err := fresh.RunWithAssignment(context.Background(), g, kernels.NewPageRankDelta(0.85, 1e-7), assign)
 		if err != nil {
 			t.Fatal(err)
 		}

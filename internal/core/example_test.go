@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,7 +21,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	run, err := sys.Run(g, kernels.NewPageRank(5, 0.85))
+	run, err := sys.Run(context.Background(), g, kernels.NewPageRank(5, 0.85))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func ExampleSystem_Compare() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	runs, err := sys.Compare(g, kernels.NewBFS(0))
+	runs, err := sys.Compare(context.Background(), g, kernels.NewBFS(0))
 	if err != nil {
 		log.Fatal(err)
 	}

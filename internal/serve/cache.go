@@ -1,0 +1,59 @@
+package serve
+
+import "sync"
+
+// ResultCache maps canonical cache keys (snapshot digest + normalized
+// spec, see JobSpec.cacheKey) to the canonical marshalled result bytes.
+// Execution is deterministic, so entries never go stale: the same key
+// can only ever produce the same bytes. Eviction is therefore purely a
+// memory concern — a simple FIFO bound on entry count.
+type ResultCache struct {
+	mu    sync.Mutex
+	max   int
+	items map[string][]byte
+	order []string
+}
+
+// NewResultCache returns a cache bounded to max entries (0 = a default
+// of 256).
+func NewResultCache(max int) *ResultCache {
+	if max <= 0 {
+		max = 256
+	}
+	return &ResultCache{max: max, items: make(map[string][]byte)}
+}
+
+// Get returns the cached bytes for key.
+//
+//perf:hot
+func (c *ResultCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	b, ok := c.items[key]
+	c.mu.Unlock()
+	return b, ok
+}
+
+// Put stores bytes under key, evicting the oldest entry when full. A
+// racing Put of the same key keeps the first value — deterministic
+// execution guarantees both are identical anyway.
+func (c *ResultCache) Put(key string, b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	if len(c.order) >= c.max {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, oldest)
+	}
+	c.items[key] = b
+	c.order = append(c.order, key)
+}
+
+// Len returns the number of cached results.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}

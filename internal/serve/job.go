@@ -1,0 +1,497 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cliconf"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// Job states.
+const (
+	StateQueued    = "queued"
+	StateRunning   = "running"
+	StateDone      = "done"
+	StateFailed    = "failed"
+	StateCancelled = "cancelled"
+)
+
+// Admission and lookup errors. The HTTP layer maps them to status
+// codes (429 for the two rejections, 404 for the lookups).
+var (
+	ErrQueueFull       = errors.New("serve: job queue is full")
+	ErrQuotaExceeded   = errors.New("serve: tenant quota exceeded")
+	ErrUnknownSnapshot = errors.New("serve: unknown snapshot")
+	ErrUnknownJob      = errors.New("serve: unknown job")
+	ErrStopped         = errors.New("serve: manager stopped")
+	ErrNotDone         = errors.New("serve: job has no result yet")
+)
+
+// Job is one admitted analytics run. All fields are guarded by the
+// manager's mutex; Done exposes completion to waiters.
+type Job struct {
+	id       string
+	tenant   string
+	spec     JobSpec
+	key      string
+	snap     *Snapshot // non-nil while the job holds its reference
+	state    string
+	err      error
+	result   []byte
+	cacheHit bool
+	cancel   context.CancelFunc
+	wantStop bool
+	done     chan struct{}
+}
+
+// JobInfo is the wire form of a job's status.
+type JobInfo struct {
+	ID       string  `json:"id"`
+	Tenant   string  `json:"tenant,omitempty"`
+	State    string  `json:"state"`
+	Error    string  `json:"error,omitempty"`
+	CacheHit bool    `json:"cache_hit,omitempty"`
+	Snapshot string  `json:"snapshot"`
+	Digest   string  `json:"digest"`
+	Spec     JobSpec `json:"spec"`
+}
+
+// ManagerConfig sizes the job manager.
+type ManagerConfig struct {
+	// Executors is the worker pool draining the queue (default 2).
+	Executors int
+	// QueueCap bounds the number of queued-but-not-running jobs
+	// (default 16); submissions beyond it are rejected with
+	// ErrQueueFull.
+	QueueCap int
+	// TenantQuota bounds each tenant's queued+running jobs (0 =
+	// unlimited); submissions beyond it are rejected with
+	// ErrQuotaExceeded.
+	TenantQuota int
+	// CacheEntries bounds the result cache (0 = default).
+	CacheEntries int
+}
+
+func (c *ManagerConfig) withDefaults() {
+	if c.Executors <= 0 {
+		c.Executors = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+}
+
+// Manager admits, queues, and executes jobs against registry snapshots.
+// Admission control is synchronous (quota and queue-bound rejections
+// happen at Submit); execution is asynchronous on a fixed executor
+// pool. Completed results are stored in canonical marshalled form and
+// cached by (snapshot digest, normalized spec), so a repeat submission
+// completes instantly with byte-identical bytes.
+type Manager struct {
+	reg     *Registry
+	metrics *metrics.Registry
+	cache   *ResultCache
+	cfg     ManagerConfig
+
+	// exec runs one job. A plain func field, not an interface: tests
+	// inject fakes here, and the perfflow hot-path analysis does not
+	// propagate through func-typed fields, which keeps the simulator
+	// and cluster internals out of the server's //perf:hot closure.
+	exec func(ctx context.Context, snap *Snapshot, spec JobSpec) (*core.Result, error)
+
+	mu         sync.Mutex
+	jobs       map[string]*Job
+	queue      []*Job
+	tenantLoad map[string]int
+	nextID     int
+	stopped    bool
+
+	notify chan struct{}
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewManager starts a manager with its executor pool. Stop it to
+// release the executors.
+func NewManager(reg *Registry, mreg *metrics.Registry, cfg ManagerConfig) *Manager {
+	cfg.withDefaults()
+	m := &Manager{
+		reg:        reg,
+		metrics:    mreg,
+		cache:      NewResultCache(cfg.CacheEntries),
+		cfg:        cfg,
+		jobs:       make(map[string]*Job),
+		tenantLoad: make(map[string]int),
+		notify:     make(chan struct{}, cfg.Executors),
+		stopCh:     make(chan struct{}),
+	}
+	m.exec = m.runSpec
+	m.wg.Add(cfg.Executors)
+	for i := 0; i < cfg.Executors; i++ {
+		go m.executor()
+	}
+	return m
+}
+
+// Metrics returns the manager's metrics registry.
+func (m *Manager) Metrics() *metrics.Registry { return m.metrics }
+
+// Registry returns the snapshot registry jobs run against.
+func (m *Manager) Registry() *Registry { return m.reg }
+
+// Submit validates and admits a job for tenant. On a result-cache hit
+// the returned job is already done (its Done channel is closed and its
+// result bytes are the cached ones). Rejections return ErrQueueFull or
+// ErrQuotaExceeded; unknown snapshots ErrUnknownSnapshot; malformed
+// specs a validation error.
+func (m *Manager) Submit(tenant string, spec JobSpec) (*Job, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	snap, ok := m.reg.Get(spec.Snapshot)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSnapshot, spec.Snapshot)
+	}
+	key := spec.cacheKey(snap.Digest())
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		snap.release()
+		return nil, ErrStopped
+	}
+	job := &Job{
+		tenant: tenant,
+		spec:   spec,
+		key:    key,
+		snap:   snap,
+		done:   make(chan struct{}),
+	}
+	m.nextID++
+	job.id = fmt.Sprintf("j%08d", m.nextID)
+
+	// Cache hits bypass admission entirely: they consume no queue slot
+	// and no tenant quota, and complete before Submit returns.
+	if b, hit := m.cache.Get(key); hit {
+		m.metrics.Counter(CounterResultCacheHits).Inc()
+		m.metrics.Counter(CounterJobsSubmitted).Inc()
+		m.metrics.Counter(CounterJobsCompleted).Inc()
+		job.state = StateDone
+		job.result = b
+		job.cacheHit = true
+		job.snap.release()
+		job.snap = nil
+		close(job.done)
+		m.jobs[job.id] = job
+		return job, nil
+	}
+	m.metrics.Counter(CounterResultCacheMisses).Inc()
+
+	if m.cfg.TenantQuota > 0 && m.tenantLoad[tenant] >= m.cfg.TenantQuota {
+		m.metrics.Counter(CounterRejectedQuota).Inc()
+		snap.release()
+		return nil, fmt.Errorf("%w: tenant %q at %d jobs", ErrQuotaExceeded, tenant, m.cfg.TenantQuota)
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.metrics.Counter(CounterRejectedQueueFull).Inc()
+		snap.release()
+		return nil, fmt.Errorf("%w: %d queued", ErrQueueFull, len(m.queue))
+	}
+
+	job.state = StateQueued
+	m.queue = append(m.queue, job)
+	m.tenantLoad[tenant]++
+	m.jobs[job.id] = job
+	m.metrics.Counter(CounterJobsSubmitted).Inc()
+
+	// Non-blocking wake: the channel holds one token per executor, and
+	// executors re-check the queue before blocking, so a dropped token
+	// never strands a queued job.
+	select {
+	case m.notify <- struct{}{}:
+	default:
+	}
+	return job, nil
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Info snapshots a job's status.
+func (m *Manager) Info(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return m.infoLocked(job), nil
+}
+
+func (m *Manager) infoLocked(job *Job) JobInfo {
+	info := JobInfo{
+		ID:       job.id,
+		Tenant:   job.tenant,
+		State:    job.state,
+		CacheHit: job.cacheHit,
+		Snapshot: job.spec.Snapshot,
+		Spec:     job.spec,
+	}
+	if job.err != nil {
+		info.Error = job.err.Error()
+	}
+	// The digest is captured at submission, surviving registry swaps.
+	if job.snap != nil {
+		info.Digest = job.snap.Digest()
+	} else if i := len(job.key); i > 64 {
+		info.Digest = job.key[:64] // cacheKey = hex digest + "\n" + spec
+	}
+	return info
+}
+
+// Result returns the canonical marshalled result bytes of a done job.
+func (m *Manager) Result(id string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch job.state {
+	case StateDone:
+		return job.result, nil
+	case StateFailed:
+		return nil, job.err
+	default:
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, job.state)
+	}
+}
+
+// Cancel stops a job: a queued job leaves the queue immediately
+// (freeing its slot and snapshot reference); a running job's context is
+// cancelled and the executor completes the transition. Terminal jobs
+// are left as they are.
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	job, ok := m.jobs[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	switch job.state {
+	case StateQueued:
+		for i, q := range m.queue {
+			if q == job {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				break
+			}
+		}
+		m.finishLocked(job, StateCancelled, context.Canceled, nil)
+	case StateRunning:
+		job.wantStop = true
+		job.cancel()
+	}
+	return nil
+}
+
+// finishLocked moves a job to a terminal state: records the outcome,
+// returns the snapshot reference and the tenant's quota slot, closes
+// Done, and bumps the outcome counter. Callers hold m.mu.
+func (m *Manager) finishLocked(job *Job, state string, err error, result []byte) {
+	job.state = state
+	job.err = err
+	job.result = result
+	if job.snap != nil {
+		job.snap.release()
+		job.snap = nil
+	}
+	if m.tenantLoad[job.tenant] <= 1 {
+		delete(m.tenantLoad, job.tenant)
+	} else {
+		m.tenantLoad[job.tenant]--
+	}
+	close(job.done)
+	switch state {
+	case StateDone:
+		m.metrics.Counter(CounterJobsCompleted).Inc()
+	case StateFailed:
+		m.metrics.Counter(CounterJobsFailed).Inc()
+	case StateCancelled:
+		m.metrics.Counter(CounterJobsCancelled).Inc()
+	}
+}
+
+// executor drains the queue until Stop.
+func (m *Manager) executor() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		var job *Job
+		if len(m.queue) > 0 {
+			job = m.queue[0]
+			copy(m.queue, m.queue[1:])
+			m.queue = m.queue[:len(m.queue)-1]
+		}
+		m.mu.Unlock()
+		if job == nil {
+			select {
+			case <-m.notify:
+			case <-m.stopCh:
+				return
+			}
+			continue
+		}
+		m.runJob(job)
+	}
+}
+
+// runJob executes one dequeued job to a terminal state.
+//
+//perf:hot
+func (m *Manager) runJob(job *Job) {
+	m.mu.Lock()
+	if job.state != StateQueued {
+		m.mu.Unlock()
+		return
+	}
+	// Second-chance cache check: an identical job may have completed
+	// while this one sat in the queue.
+	if b, hit := m.cache.Get(job.key); hit {
+		m.metrics.Counter(CounterResultCacheHits).Inc()
+		job.cacheHit = true
+		m.finishLocked(job, StateDone, nil, b)
+		m.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job.cancel = cancel
+	job.state = StateRunning
+	snap, spec := job.snap, job.spec
+	m.mu.Unlock()
+
+	res, err := m.exec(ctx, snap, spec)
+	cancel()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case err != nil && (job.wantStop || errors.Is(err, context.Canceled)):
+		m.finishLocked(job, StateCancelled, context.Canceled, nil)
+	case err != nil:
+		m.finishLocked(job, StateFailed, err, nil)
+	default:
+		b, merr := MarshalResult(res)
+		if merr != nil {
+			m.finishLocked(job, StateFailed, merr, nil)
+			return
+		}
+		m.cache.Put(job.key, b)
+		m.finishLocked(job, StateDone, nil, b)
+	}
+}
+
+// Stop shuts the manager down: no new submissions, queued jobs are
+// cancelled, running jobs' contexts are cancelled, and the executor
+// pool is joined.
+func (m *Manager) Stop() {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	m.stopped = true
+	queued := m.queue
+	m.queue = nil
+	for _, job := range queued {
+		m.finishLocked(job, StateCancelled, context.Canceled, nil)
+	}
+	for _, job := range m.jobs {
+		if job.state == StateRunning && job.cancel != nil {
+			job.wantStop = true
+			job.cancel()
+		}
+	}
+	m.mu.Unlock()
+	close(m.stopCh)
+	m.wg.Wait()
+}
+
+// runSpec is the default executor: resolve the spec's partition plan
+// through the snapshot's plan cache, then run the selected engine.
+func (m *Manager) runSpec(ctx context.Context, snap *Snapshot, spec JobSpec) (*core.Result, error) {
+	var assign *partition.Assignment
+	if spec.Engine != EngineSerial {
+		p, err := cliconf.MakePartitioner(spec.Partitioner, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		assign, err = snap.plan(p, spec.Partitioner, spec.Seed, spec.Partitions, m.metrics)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return ExecuteSpec(ctx, snap.Graph(), spec, assign)
+}
+
+// ExecuteSpec runs a normalized spec against a graph directly — the
+// offline twin of the service's executor, used by the served-vs-offline
+// oracle to compute the expected result without a server. A nil assign
+// partitions internally (with the spec's partitioner and seed).
+func ExecuteSpec(ctx context.Context, g *graph.Graph, spec JobSpec, assign *partition.Assignment) (*core.Result, error) {
+	sys, err := buildSystem(spec)
+	if err != nil {
+		return nil, err
+	}
+	k, err := cliconf.MakeKernel(spec.Kernel, spec.PRIters)
+	if err != nil {
+		return nil, err
+	}
+	var eng core.Engine
+	switch spec.Engine {
+	case EngineSerial:
+		eng = core.SerialEngine()
+	case EngineCluster:
+		eng = sys.ConcurrentEngine()
+	default:
+		eng = sys.Engine()
+	}
+	return eng.Run(ctx, g, k, core.RunConfig{Assignment: assign})
+}
+
+// buildSystem constructs the core.System a normalized spec describes.
+func buildSystem(spec JobSpec) (*core.System, error) {
+	arch, err := cliconf.ParseArch(spec.Arch)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := cliconf.MakePolicy(spec.Policy)
+	if err != nil {
+		return nil, err
+	}
+	p, err := cliconf.MakePartitioner(spec.Partitioner, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	opts := []core.Option{
+		core.WithComputeNodes(spec.Computes),
+		core.WithMemoryNodes(spec.Partitions),
+		core.WithPartitioner(p),
+		core.WithPolicy(pol),
+		core.WithWorkers(spec.Workers),
+		core.WithTreeFanIn(spec.TreeFanIn),
+		core.WithChannelDepth(spec.ChannelDepth),
+	}
+	if spec.Aggregation != nil {
+		opts = append(opts, core.WithAggregation(*spec.Aggregation))
+	}
+	return core.New(arch, opts...)
+}

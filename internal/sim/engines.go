@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -14,6 +15,15 @@ import (
 type Engine interface {
 	Name() string
 	Run(g *graph.Graph, k kernels.Kernel) (*Run, error)
+}
+
+// ContextEngine is an Engine whose runs honor cancellation: the
+// iteration loop checks the context between iterations and returns
+// ctx.Err() on cancellation or deadline, so a long sweep aborts within
+// one iteration's work. All four simulated architectures implement it.
+type ContextEngine interface {
+	Engine
+	RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Run, error)
 }
 
 // checkEngineInputs validates the pieces shared by all engines.
@@ -82,6 +92,11 @@ func cacheMask(g *graph.Graph, budget int64) []bool {
 
 // Run implements Engine.
 func (d *Disaggregated) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
+	return d.RunContext(context.Background(), g, k)
+}
+
+// RunContext implements ContextEngine.
+func (d *Disaggregated) RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err := checkEngineInputs(d.Topo, d.Assign, g); err != nil {
 		return nil, err
 	}
@@ -106,6 +121,7 @@ func (d *Disaggregated) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.ctx = ctx
 	ex.workers = d.Workers
 	ex.cached = cacheMask(g, d.CacheBytes)
 	run, err := ex.run(d.Name())
@@ -156,6 +172,11 @@ func (d *DisaggregatedNDP) Name() string {
 
 // Run implements Engine.
 func (d *DisaggregatedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
+	return d.RunContext(context.Background(), g, k)
+}
+
+// RunContext implements ContextEngine.
+func (d *DisaggregatedNDP) RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err := checkEngineInputs(d.Topo, d.Assign, g); err != nil {
 		return nil, err
 	}
@@ -282,6 +303,7 @@ func (d *DisaggregatedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if err != nil {
 		return nil, err
 	}
+	ex.ctx = ctx
 	ex.workers = d.Workers
 	ex.computeStaticPartials()
 	run, err := ex.run(d.Name())
@@ -318,7 +340,12 @@ func (d *Distributed) Name() string { return "distributed" }
 
 // Run implements Engine.
 func (d *Distributed) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
-	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), false, d.Workers)
+	return d.RunContext(context.Background(), g, k)
+}
+
+// RunContext implements ContextEngine.
+func (d *Distributed) RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Run, error) {
+	return runDistributed(ctx, d.Topo, d.Assign, g, k, d.Name(), false, d.Workers)
 }
 
 // DistributedNDP models GraphQ-style PIM clusters: the same partitioning
@@ -343,6 +370,11 @@ func (d *DistributedNDP) Name() string { return "distributed-ndp" }
 
 // Run implements Engine.
 func (d *DistributedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
+	return d.RunContext(context.Background(), g, k)
+}
+
+// RunContext implements ContextEngine.
+func (d *DistributedNDP) RunContext(ctx context.Context, g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	overlap := d.OverlapFraction
 	if overlap <= 0 {
 		overlap = 0.7
@@ -350,12 +382,12 @@ func (d *DistributedNDP) Run(g *graph.Graph, k kernels.Kernel) (*Run, error) {
 	if overlap > 1 {
 		overlap = 1
 	}
-	return runDistributed(d.Topo, d.Assign, g, k, d.Name(), true, d.Workers, overlap)
+	return runDistributed(ctx, d.Topo, d.Assign, g, k, d.Name(), true, d.Workers, overlap)
 }
 
 // runDistributed is the shared implementation of the two distributed
 // engines; ndp selects near-memory traversal and overlap.
-func runDistributed(topo Topology, assign *partition.Assignment, g *graph.Graph, k kernels.Kernel, name string, ndpMode bool, workers int, overlapOpt ...float64) (*Run, error) {
+func runDistributed(ctx context.Context, topo Topology, assign *partition.Assignment, g *graph.Graph, k kernels.Kernel, name string, ndpMode bool, workers int, overlapOpt ...float64) (*Run, error) {
 	if err := checkEngineInputs(topo, assign, g); err != nil {
 		return nil, err
 	}
@@ -406,6 +438,7 @@ func runDistributed(topo Topology, assign *partition.Assignment, g *graph.Graph,
 	if err != nil {
 		return nil, err
 	}
+	ex.ctx = ctx
 	ex.workers = workers
 	ex.computeMirrorCounts()
 	run, err := ex.run(name)

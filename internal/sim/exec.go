@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -109,6 +110,11 @@ type execution struct {
 	g      *graph.Graph
 	k      kernels.Kernel
 	assign *partition.Assignment
+
+	// ctx bounds the run: the iteration loop checks it between
+	// iterations and aborts with ctx.Err() on cancellation. nil means
+	// uncancellable (context.Background semantics, allocation-free).
+	ctx context.Context
 
 	// account fills in the architecture-specific fields of each record.
 	account func(rec *Record)
@@ -359,6 +365,11 @@ func (e *execution) run(engineName string) (*Run, error) {
 	st := e.newIterState(engineName)
 	run, res, tr := st.run, st.res, st.tr
 	for iter := 0; iter < tr.MaxIterations; iter++ {
+		if e.ctx != nil {
+			if err := e.ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if st.frontier.Count() == 0 {
 			res.Converged = true
 			break

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"reflect"
@@ -106,7 +107,7 @@ func Check(sc Scenario) error {
 	if err != nil {
 		return err
 	}
-	runs, err := sys.Compare(g, fresh())
+	runs, err := sys.Compare(context.Background(), g, fresh())
 	if err != nil {
 		return err
 	}
@@ -226,7 +227,7 @@ func checkSerialResult(g *graph.Graph, r *kernels.Result, traits kernels.Traits,
 // values must agree bit for bit, and all must match the serial engine
 // (exactly for lattice kernels, within float-reassociation tolerance for
 // sum kernels).
-func checkArchDifferential(runs []*sim.Run, serial *kernels.Result, traits kernels.Traits) error {
+func checkArchDifferential(runs []*core.Result, serial *kernels.Result, traits kernels.Traits) error {
 	base := runs[0]
 	for _, run := range runs[1:] {
 		if err := valuesBitEqual(run.Result.Values, base.Result.Values); err != nil {
@@ -296,7 +297,7 @@ func checkWorkerDifferential(g *graph.Graph, fresh func() kernels.Kernel, assign
 // switch-buffer aggregation model independently of internal/sim, so a
 // bug reintroduced there cannot hide (the mutation-smoke test leans on
 // exactly this).
-func checkRecords(run *sim.Run, sc Scenario) error {
+func checkRecords(run *core.Result, sc Scenario) error {
 	ndp := strings.HasPrefix(run.Engine, "disaggregated-ndp")
 	for _, rec := range run.Records {
 		it := rec.Iteration
@@ -384,7 +385,7 @@ func expectedAggregatedMoveBytes(partialUpdates, distinctDsts, bufferEntries int
 // engine's result (same properties checkSerialResult establishes for the
 // reference; cheap to re-assert directly rather than only by transitive
 // equality).
-func checkResultShape(run *sim.Run, traits kernels.Traits) error {
+func checkResultShape(run *core.Result, traits kernels.Traits) error {
 	if mustConverge(traits) && !run.Result.Converged {
 		return failf(OracleMonotone, "%s: frontier kernel did not converge in %d iterations", run.Engine, run.Result.Iterations)
 	}
@@ -413,7 +414,7 @@ func checkCluster(g *graph.Graph, fresh func() kernels.Kernel, assign *partition
 	if err != nil {
 		return err
 	}
-	free, err := sysFree.RunConcurrentWithAssignment(g, fresh(), assign)
+	free, err := sysFree.RunConcurrentWithAssignment(context.Background(), g, fresh(), assign)
 	if err != nil {
 		return err
 	}
@@ -464,7 +465,7 @@ func checkCluster(g *graph.Graph, fresh func() kernels.Kernel, assign *partition
 	if err != nil {
 		return err
 	}
-	faulted, err := sysFault.RunConcurrentWithAssignment(g, fresh(), assign)
+	faulted, err := sysFault.RunConcurrentWithAssignment(context.Background(), g, fresh(), assign)
 	if err != nil {
 		return err
 	}
@@ -492,7 +493,7 @@ func checkCluster(g *graph.Graph, fresh func() kernels.Kernel, assign *partition
 // receivers, and the per-level chain through the switch tree is
 // gap-free. Holds exactly even under injected faults (see Outcome
 // docs on the counting discipline).
-func checkConservation(out *cluster.Outcome, tag string) error {
+func checkConservation(out *core.Result, tag string) error {
 	memSent := out.Counter(cluster.CounterMemSentBytes)
 	compRecv := out.Counter(cluster.CounterComputeRecvBytes)
 	wbRecv := out.Counter(cluster.CounterWritebackRecvBytes)
@@ -530,7 +531,7 @@ func checkConservation(out *cluster.Outcome, tag string) error {
 // and the end-to-end delivery may not exceed what the pool sent.
 // Only meaningful fault-free — injected duplicates inflate receive
 // counts asymmetrically.
-func checkSwitchLevels(out *cluster.Outcome, aggregation bool, tag string) error {
+func checkSwitchLevels(out *core.Result, aggregation bool, tag string) error {
 	for l := range out.LevelBytes {
 		in, outB := out.LevelBytesIn[l], out.LevelBytes[l]
 		if aggregation && outB > in {
@@ -555,7 +556,7 @@ func checkSwitchLevels(out *cluster.Outcome, aggregation bool, tag string) error
 // checkFaultFreeStats requires a run with the zero fault plan to report
 // zero injected faults and zero recovery work — anything else means the
 // injector leaked into the clean path.
-func checkFaultFreeStats(out *cluster.Outcome) error {
+func checkFaultFreeStats(out *core.Result) error {
 	f := out.Faults
 	if f.Drops != 0 || f.Duplicates != 0 || f.Delays != 0 || f.Retries != 0 || f.Crashes != 0 || f.Redispatches != 0 {
 		return failf(OracleFaults, "fault-free run reported faults: %+v", f)
@@ -569,7 +570,7 @@ func checkFaultFreeStats(out *cluster.Outcome) error {
 // checkFaultStats enforces the fault-accounting invariants on a faulted
 // run: every drop is retried, crashes fire exactly per schedule, and
 // every crash triggers at least one partition re-dispatch.
-func checkFaultStats(out *cluster.Outcome, sc Scenario) error {
+func checkFaultStats(out *core.Result, sc Scenario) error {
 	f := out.Faults
 	if f.Drops != f.Retries {
 		return failf(OracleFaults, "faulted run: %d drops but %d retries", f.Drops, f.Retries)
@@ -603,7 +604,7 @@ func checkFaultStats(out *cluster.Outcome, sc Scenario) error {
 // deduplicates fully, which is the simulator's SwitchBufferEntries=0
 // model — and the cluster always offloads, so the simulator runs under
 // AlwaysOffload.
-func checkTrafficAgainstSim(g *graph.Graph, fresh func() kernels.Kernel, assign *partition.Assignment, topo sim.Topology, out *cluster.Outcome, traits kernels.Traits, sc Scenario) error {
+func checkTrafficAgainstSim(g *graph.Graph, fresh func() kernels.Kernel, assign *partition.Assignment, topo sim.Topology, out *core.Result, traits kernels.Traits, sc Scenario) error {
 	run, err := (&sim.DisaggregatedNDP{
 		Topo: topo, Assign: assign,
 		Policy:               sim.AlwaysOffload{},

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/serve"
+)
+
+// Served oracle families.
+const (
+	// OracleServed asserts HTTP-served results are byte-identical to a
+	// direct offline core run of the same spec on the same graph.
+	OracleServed = "served-differential"
+	// OracleCache asserts a repeat submission is answered from the
+	// result cache — same bytes, cache-hit flag, and counter movement.
+	OracleCache = "served-cache"
+)
+
+// CheckServed is the served-vs-offline oracle: it boots an in-process
+// ndpserve instance on a loopback port, uploads the scenario's graph as
+// a snapshot, runs the scenario's workload through the HTTP job API,
+// and asserts the served result bytes equal serve.MarshalResult of a
+// direct core run — the service layer (wire format, job manager,
+// snapshot registry, result cache) must be a transparent shell around
+// the engines. It then re-submits the identical spec and asserts the
+// answer comes from the result cache, byte for byte.
+func CheckServed(sc Scenario) error {
+	if err := sc.Validate(); err != nil {
+		return failf(OracleServed, "invalid scenario: %v", err)
+	}
+	g, err := sc.BuildGraph()
+	if err != nil {
+		return failf(OracleServed, "building graph: %v", err)
+	}
+
+	mgr := serve.NewManager(serve.NewRegistry(), &metrics.Registry{}, serve.ManagerConfig{
+		Executors: 2,
+		QueueCap:  8,
+	})
+	defer mgr.Stop()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return failf(OracleServed, "listen: %v", err)
+	}
+	srv := &http.Server{Handler: serve.NewServer(mgr)}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := serve.NewClient("http://"+ln.Addr().String(), "verify")
+
+	info, err := c.PutSnapshotGraph(ctx, "scenario", g)
+	if err != nil {
+		return failf(OracleServed, "upload snapshot: %v", err)
+	}
+	wantDigest, err := serve.GraphDigest(g)
+	if err != nil {
+		return failf(OracleServed, "digest: %v", err)
+	}
+	if info.Digest != wantDigest {
+		return failf(OracleServed, "served digest %s, local graph digest %s", info.Digest, wantDigest)
+	}
+
+	agg := sc.Aggregation
+	specs := []serve.JobSpec{{
+		Snapshot:    "scenario",
+		Engine:      serve.EngineSim,
+		Kernel:      sc.Kernel,
+		Partitions:  sc.Partitions,
+		Computes:    sc.ComputeNodes,
+		Partitioner: sc.Partitioner,
+		Seed:        sc.Seed,
+		Aggregation: &agg,
+		Workers:     sc.Workers,
+	}}
+	if sc.Cluster {
+		specs = append(specs, serve.JobSpec{
+			Snapshot:     "scenario",
+			Engine:       serve.EngineCluster,
+			Kernel:       sc.Kernel,
+			Partitions:   sc.Partitions,
+			Computes:     sc.ComputeNodes,
+			Partitioner:  sc.Partitioner,
+			Seed:         sc.Seed,
+			Aggregation:  &agg,
+			TreeFanIn:    sc.TreeFanIn,
+			ChannelDepth: sc.ChannelDepth,
+		})
+	}
+	for _, spec := range specs {
+		if err := checkServedSpec(ctx, c, g, spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkServedSpec runs one spec through the HTTP API twice: the first
+// submission is compared byte-for-byte against the offline run, the
+// second must be a cache hit with identical bytes.
+func checkServedSpec(ctx context.Context, c *serve.Client, g *graph.Graph, spec serve.JobSpec) error {
+	// Offline expectation: same spec, same graph, no server.
+	offline := spec
+	if err := offline.Normalize(); err != nil {
+		return failf(OracleServed, "%s: normalize: %v", spec.Engine, err)
+	}
+	res, err := serve.ExecuteSpec(ctx, g, offline, nil)
+	if err != nil {
+		return failf(OracleServed, "%s: offline run: %v", spec.Engine, err)
+	}
+	want, err := serve.MarshalResult(res)
+	if err != nil {
+		return failf(OracleServed, "%s: marshal offline result: %v", spec.Engine, err)
+	}
+
+	before, err := c.Metrics(ctx)
+	if err != nil {
+		return failf(OracleServed, "%s: metrics: %v", spec.Engine, err)
+	}
+
+	first, err := submitAndWait(ctx, c, spec)
+	if err != nil {
+		return failf(OracleServed, "%s: %v", spec.Engine, err)
+	}
+	got, err := c.ResultBytes(ctx, first.ID)
+	if err != nil {
+		return failf(OracleServed, "%s: fetch result: %v", spec.Engine, err)
+	}
+	if !bytes.Equal(got, want) {
+		return failf(OracleServed, "%s: served result differs from offline run (%d vs %d bytes)",
+			spec.Engine, len(got), len(want))
+	}
+
+	second, err := submitAndWait(ctx, c, spec)
+	if err != nil {
+		return failf(OracleCache, "%s: resubmit: %v", spec.Engine, err)
+	}
+	if !second.CacheHit {
+		return failf(OracleCache, "%s: identical resubmission was not served from the result cache", spec.Engine)
+	}
+	got2, err := c.ResultBytes(ctx, second.ID)
+	if err != nil {
+		return failf(OracleCache, "%s: fetch cached result: %v", spec.Engine, err)
+	}
+	if !bytes.Equal(got2, want) {
+		return failf(OracleCache, "%s: cached result bytes differ from the first run", spec.Engine)
+	}
+	after, err := c.Metrics(ctx)
+	if err != nil {
+		return failf(OracleCache, "%s: metrics: %v", spec.Engine, err)
+	}
+	hits := after[serve.CounterResultCacheHits] - before[serve.CounterResultCacheHits]
+	if hits < 1 {
+		return failf(OracleCache, "%s: cache-hit counter did not move (delta %d)", spec.Engine, hits)
+	}
+	return nil
+}
+
+func submitAndWait(ctx context.Context, c *serve.Client, spec serve.JobSpec) (serve.JobInfo, error) {
+	info, err := c.Submit(ctx, spec)
+	if err != nil {
+		return serve.JobInfo{}, fmt.Errorf("submit: %w", err)
+	}
+	info, err = c.Wait(ctx, info.ID)
+	if err != nil {
+		return serve.JobInfo{}, fmt.Errorf("wait %s: %w", info.ID, err)
+	}
+	if info.State != serve.StateDone {
+		return serve.JobInfo{}, fmt.Errorf("job %s ended %s: %s", info.ID, info.State, info.Error)
+	}
+	return info, nil
+}

@@ -79,6 +79,50 @@ step go test -count=1 -race ./internal/verify/
 # a shrunken, replayable reproducer in the log.
 step go run ./cmd/ndpverify -seed 1 -scenarios 25
 
+# Service round-trip: boot ndpserve on an ephemeral loopback port with a
+# preloaded snapshot, drive a submit/poll/result round-trip through
+# `ndprun -server` (which must report the resubmission as a cache hit),
+# then run the served-vs-offline oracle battery in-process and shut the
+# server down cleanly (SIGTERM → graceful drain).
+echo
+echo "==> ndpserve round-trip"
+SERVE_ADDR="127.0.0.1:18090"
+SERVE_LOG="$(mktemp)"
+go build -o /tmp/ndpserve.check ./cmd/ndpserve
+/tmp/ndpserve.check -addr "$SERVE_ADDR" -snapshot demo=wiki-talk:0.1 >"$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    if go run ./cmd/ndprun -server "http://$SERVE_ADDR" -snapshot demo \
+        -dataset wiki-talk -scale 0.1 -kernel cc >/tmp/ndpserve.roundtrip 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+cat /tmp/ndpserve.roundtrip
+# A second identical submission must be answered from the result cache
+# (the cache-hit note goes to stderr, so capture both streams).
+go run ./cmd/ndprun -server "http://$SERVE_ADDR" -snapshot demo \
+    -dataset wiki-talk -scale 0.1 -kernel cc 2>&1 | tee /tmp/ndpserve.roundtrip2
+grep -q "result cache" /tmp/ndpserve.roundtrip2 || {
+    echo "check.sh: ndpserve resubmission was not a cache hit" >&2
+    exit 1
+}
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID" || {
+    echo "check.sh: ndpserve did not shut down cleanly" >&2
+    cat "$SERVE_LOG" >&2
+    exit 1
+}
+trap - EXIT
+echo "ok (server log: $(grep -c . "$SERVE_LOG") lines, clean shutdown)"
+
+# Served-vs-offline oracle: every generated scenario also round-trips
+# through an in-process ndpserve instance; the HTTP-served bytes must be
+# bit-identical to the direct core run and the resubmission must hit the
+# result cache.
+step go run ./cmd/ndpverify -seed 1 -scenarios 8 -served
+
 # The cluster fault tests get a dedicated -race stage at -count=2: fault
 # injection + recovery is the code most exposed to scheduling, and the
 # determinism claims must hold run over run with the race detector's
