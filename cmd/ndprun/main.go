@@ -26,6 +26,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/cliconf"
 	"repro/internal/cluster"
@@ -63,13 +65,19 @@ func main() {
 	)
 	flag.Parse()
 
+	// One signal-aware context for everything ndprun does: Ctrl-C (or a
+	// TERM from a supervisor) cancels served submissions and cluster
+	// runs instead of leaving them to finish on their own.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	g, err := gf.Load()
 	if err != nil {
 		fatal(err)
 	}
 
 	if *serverURL != "" {
-		if err := runServed(g, gf, ef, cf, *clusterMode, *serverURL, *tenant, *snapName, *csv); err != nil {
+		if err := runServed(ctx, g, gf, ef, cf, *clusterMode, *serverURL, *tenant, *snapName, *csv); err != nil {
 			fatal(err)
 		}
 		return
@@ -107,7 +115,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := runCluster(g, k, p, ef.Computes, ef.Partitions, ef.Aggregate, cf.TreeFanIn, cf.ChannelDepth, plan, *csv); err != nil {
+		if err := runCluster(ctx, g, k, p, ef.Computes, ef.Partitions, ef.Aggregate, cf.TreeFanIn, cf.ChannelDepth, plan, *csv); err != nil {
 			fatal(err)
 		}
 		return
@@ -174,9 +182,8 @@ func main() {
 
 // runServed submits the run to an ndpserve instance: upload the graph
 // as a snapshot, submit the job spec, wait, and print the served result.
-func runServed(g *graph.Graph, gf cliconf.GraphFlags, ef cliconf.EngineFlags, cf cliconf.ClusterFlags,
+func runServed(ctx context.Context, g *graph.Graph, gf cliconf.GraphFlags, ef cliconf.EngineFlags, cf cliconf.ClusterFlags,
 	clusterMode bool, serverURL, tenant, snapName string, csv bool) error {
-	ctx := context.Background()
 	c := serve.NewClient(serverURL, tenant)
 	if err := c.Health(ctx); err != nil {
 		return fmt.Errorf("server %s: %w", serverURL, err)
@@ -250,7 +257,7 @@ func runServed(g *graph.Graph, gf cliconf.GraphFlags, ef cliconf.EngineFlags, cf
 // runCluster executes the kernel on the concurrent actor implementation,
 // configured entirely through core's functional options, and reports the
 // measured traffic plus the fault/recovery counters.
-func runCluster(g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
+func runCluster(ctx context.Context, g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
 	computes, partitions int, aggregate bool, treeFanIn, chanDepth int,
 	plan cluster.FaultPlan, csv bool) error {
 	sys, err := core.New(core.DisaggregatedNDP,
@@ -265,7 +272,7 @@ func runCluster(g *graph.Graph, k kernels.Kernel, p partition.Partitioner,
 	if err != nil {
 		return err
 	}
-	out, err := sys.RunConcurrent(context.Background(), g, k)
+	out, err := sys.RunConcurrent(ctx, g, k)
 	if err != nil {
 		return err
 	}

@@ -132,6 +132,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	fmt.Fprintln(os.Stderr, "ndpserve: shutting down")
+	//lint:ignore ctxflow the signal ctx is already done by the time we shut down; the deadline needs a fresh tree
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,278 @@
+package lifeflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/flow"
+)
+
+// FuncFacts is the lifecycle behaviour of one module function, computed
+// bottom-up to a module-wide fixed point (the same scheme as perfflow's
+// allocation facts).
+type FuncFacts struct {
+	// ReleasesParam: the function discharges the i-th parameter's
+	// obligation — it calls a release-named method on it, calls it (a
+	// cancel func passed down), or hands it to a module callee that
+	// does. For variadic functions the last entry covers the slice.
+	ReleasesParam []bool
+	// Blocks: the function can park its goroutine — a channel receive,
+	// a range over a channel, a sync Wait, or a module callee that
+	// blocks. Used as a termination witness by goroleak.
+	Blocks bool
+	// NoReturn: the function always terminates the process (its body
+	// ends in os.Exit, log.Fatal*, panic, or a module no-return call),
+	// so paths through it leak nothing the OS won't reclaim.
+	NoReturn bool
+}
+
+// Facts holds lifecycle facts for every function declared in the
+// analyzed packages.
+type Facts struct {
+	funcs        map[*types.Func]*factInfo
+	releaseNames map[string]bool
+}
+
+type factInfo struct {
+	decl *ast.FuncDecl
+	info *types.Info
+	f    FuncFacts
+}
+
+// ComputeFacts analyzes every function with a body in pkgs. Facts start
+// empty and only ever grow across rounds; unknown callees neither
+// release, block, nor abort — the package's report-what-you-can-see
+// bias.
+func ComputeFacts(pkgs []flow.PkgSyntax, releaseNames map[string]bool) *Facts {
+	f := &Facts{funcs: make(map[*types.Func]*factInfo), releaseNames: releaseNames}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, d := range file.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pkg.Info == nil {
+					continue
+				}
+				fn, ok := pkg.Info.ObjectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				f.funcs[fn] = &factInfo{decl: fd, info: pkg.Info}
+			}
+		}
+	}
+	ordered := f.orderedFuncs()
+	for round := 0; round < len(ordered)+2; round++ {
+		changed := false
+		for _, fn := range ordered {
+			fi := f.funcs[fn]
+			nf := f.analyze(fi)
+			if !lifecycleFactsEqual(nf, fi.f) {
+				fi.f = nf
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return f
+}
+
+func lifecycleFactsEqual(a, b FuncFacts) bool {
+	if a.Blocks != b.Blocks || a.NoReturn != b.NoReturn ||
+		len(a.ReleasesParam) != len(b.ReleasesParam) {
+		return false
+	}
+	for i := range a.ReleasesParam {
+		if a.ReleasesParam[i] != b.ReleasesParam[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *Facts) orderedFuncs() []*types.Func {
+	fns := make([]*types.Func, 0, len(f.funcs))
+	for fn := range f.funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool {
+		pi, pj := "", ""
+		if fns[i].Pkg() != nil {
+			pi = fns[i].Pkg().Path()
+		}
+		if fns[j].Pkg() != nil {
+			pj = fns[j].Pkg().Path()
+		}
+		if pi != pj {
+			return pi < pj
+		}
+		if fns[i].FullName() != fns[j].FullName() {
+			return fns[i].FullName() < fns[j].FullName()
+		}
+		return fns[i].Pos() < fns[j].Pos()
+	})
+	return fns
+}
+
+// Lookup returns fn's facts and whether fn is a module function the
+// analysis saw.
+func (f *Facts) Lookup(fn *types.Func) (FuncFacts, bool) {
+	fi, ok := f.funcs[fn]
+	if !ok {
+		return FuncFacts{}, false
+	}
+	return fi.f, true
+}
+
+// ReleasesParamAt reports whether argument i of call is released by the
+// callee. Unknown callees answer false: handing a resource to the
+// stdlib does not discharge the caller's obligation.
+func (f *Facts) ReleasesParamAt(info *types.Info, call *ast.CallExpr, i int) bool {
+	fn := flow.CalleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	fi, ok := f.funcs[fn]
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if sig.Variadic() && i >= sig.Params().Len()-1 {
+		i = sig.Params().Len() - 1
+	}
+	if i < 0 || i >= len(fi.f.ReleasesParam) {
+		return false
+	}
+	return fi.f.ReleasesParam[i]
+}
+
+// analyze recomputes one function's facts from the current module state.
+func (f *Facts) analyze(fi *factInfo) FuncFacts {
+	var nf FuncFacts
+
+	// Parameter objects, in signature order; variadic handled by the
+	// lookup-side index clamp.
+	var params []types.Object
+	if fi.decl.Type.Params != nil {
+		for _, field := range fi.decl.Type.Params.List {
+			if len(field.Names) == 0 {
+				params = append(params, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				params = append(params, fi.info.ObjectOf(name))
+			}
+		}
+	}
+	nf.ReleasesParam = make([]bool, len(params))
+
+	ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// Release-named method on a parameter, or calling a
+			// func-typed parameter directly.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && f.releaseNames[sel.Sel.Name] {
+				root := recvObj(fi.info, sel.X)
+				for i, p := range params {
+					if p != nil && root == p {
+						nf.ReleasesParam[i] = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				obj := fi.info.ObjectOf(id)
+				for i, p := range params {
+					if p != nil && obj == p {
+						nf.ReleasesParam[i] = true
+					}
+				}
+			}
+			// Forwarding a parameter to a module callee that releases it.
+			for j, arg := range n.Args {
+				id, ok := ast.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := fi.info.ObjectOf(id)
+				for i, p := range params {
+					if p != nil && obj == p && f.ReleasesParamAt(fi.info, n, j) {
+						nf.ReleasesParam[i] = true
+					}
+				}
+			}
+			if f.callBlocks(fi.info, n) {
+				nf.Blocks = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				nf.Blocks = true
+			}
+		case *ast.RangeStmt:
+			if t := fi.info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					nf.Blocks = true
+				}
+			}
+		}
+		return true
+	})
+
+	nf.NoReturn = f.endsInAbort(fi)
+	return nf
+}
+
+// callBlocks: sync Wait, or a module callee whose facts say it blocks.
+func (f *Facts) callBlocks(info *types.Info, call *ast.CallExpr) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if fn, ok := info.ObjectOf(sel.Sel).(*types.Func); ok &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait" {
+			return true
+		}
+	}
+	fn := flow.CalleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	fi, ok := f.funcs[fn]
+	return ok && fi.f.Blocks
+}
+
+// endsInAbort reports whether the function's last top-level statement
+// always terminates the process.
+func (f *Facts) endsInAbort(fi *factInfo) bool {
+	body := fi.decl.Body.List
+	if len(body) == 0 {
+		return false
+	}
+	es, ok := body[len(body)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := fi.info.ObjectOf(id).(*types.Builtin); isBuiltin && id.Name == "panic" {
+			return true
+		}
+	}
+	fn := flow.CalleeOf(fi.info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil {
+		switch fn.Pkg().Path() + "." + fn.Name() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	cf, ok := f.funcs[fn]
+	return ok && cf.f.NoReturn
+}

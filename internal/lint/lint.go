@@ -262,10 +262,11 @@ func Run(analyzers []Analyzer, pkgs []*Package) []Diagnostic {
 
 // All returns the full analyzer suite in stable order: the six
 // syntactic rules from the original suite, the three dataflow-powered
-// rules built on internal/lint/flow, then the four perfflow rules for
-// //perf:hot paths built on internal/lint/perfflow.
+// rules built on internal/lint/flow, the four perfflow rules for
+// //perf:hot paths built on internal/lint/perfflow, then the four
+// lifeflow resource-lifecycle rules built on internal/lint/lifeflow.
 func All() []Analyzer {
-	return append(append(Syntactic(), Dataflow()...), Perfflow()...)
+	return append(append(append(Syntactic(), Dataflow()...), Perfflow()...), Lifeflow()...)
 }
 
 // Syntactic returns the per-function pattern-matching rules.

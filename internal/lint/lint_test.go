@@ -108,6 +108,13 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{"ifacebox", IfaceBox{}, "", nil},
 		{"deferloop", DeferLoop{}, "", nil},
 		{"closureloop", ClosureLoop{}, "", nil},
+		// The lifeflow suite: resource-lifecycle obligations. Pairs come
+		// from the built-in table plus //lint:pair annotations in the
+		// fixtures, so no path scoping is needed.
+		{"leakpair", LeakPair{}, "", nil},
+		{"goroleak", GoroLeak{}, "", nil},
+		{"ctxflow", CtxFlow{}, "", nil},
+		{"sendblock", SendBlock{}, "", nil},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {
@@ -307,5 +314,73 @@ func TestPerfflowCatchesWhatDataflowMisses(t *testing.T) {
 				t.Errorf("%s found nothing on its fixture: the seeded hot-loop bug went uncaught", tc.perfflow.Name())
 			}
 		})
+	}
+}
+
+// TestLifeflowCatchesWhatPerfflowMisses is the acceptance check for the
+// lifeflow suite: each fixture's seeded lifecycle bug — a leak on one
+// path, an unwitnessed goroutine, a detached context, a blocked sender —
+// must be invisible to every v1 syntactic, v2 dataflow, and v3 perfflow
+// analyzer, and caught by the corresponding lifeflow rule.
+func TestLifeflowCatchesWhatPerfflowMisses(t *testing.T) {
+	cases := []struct {
+		dir      string
+		lifeflow Analyzer
+	}{
+		{"leakpair", LeakPair{}},
+		{"goroleak", GoroLeak{}},
+		{"ctxflow", CtxFlow{}},
+		{"sendblock", SendBlock{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.dir, func(t *testing.T) {
+			pkgs := loadFixtureSet(t, tc.dir)
+			prior := append(append(Syntactic(), Dataflow()...), Perfflow()...)
+			for _, d := range Run(prior, pkgs) {
+				t.Errorf("v1/v2/v3 analyzer unexpectedly caught the seeded lifecycle bug: %s", d)
+			}
+			found := Run([]Analyzer{tc.lifeflow}, pkgs)
+			if len(found) == 0 {
+				t.Errorf("%s found nothing on its fixture: the seeded lifecycle bug went uncaught", tc.lifeflow.Name())
+			}
+		})
+	}
+}
+
+// TestLifeflowAutoFix covers the mechanical repair path: the unstopped
+// ticker in the leakpair fixture is a single-exit acquire with no release
+// or ownership transfer anywhere, so leakpair must offer (and ApplyFixes
+// must cleanly apply) an inserted defer t.Stop().
+func TestLifeflowAutoFix(t *testing.T) {
+	pkg := loadFixture(t, "leakpair")
+	diags := Run([]Analyzer{LeakPair{}}, []*Package{pkg})
+	fixable := 0
+	for _, d := range diags {
+		if d.Fixable {
+			fixable++
+		}
+	}
+	if fixable == 0 {
+		t.Fatalf("no fixable leakpair diagnostics on the fixture; got %v", diags)
+	}
+	files, applied, err := ApplyFixes(pkg.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, ok := range applied {
+		if ok {
+			n++
+		}
+	}
+	if n != fixable {
+		t.Fatalf("applied %d fixes, want %d", n, fixable)
+	}
+	var fixed string
+	for _, content := range files {
+		fixed += string(content)
+	}
+	if !strings.Contains(fixed, "defer t.Stop()") {
+		t.Fatalf("fixed source does not insert defer t.Stop():\n%s", fixed)
 	}
 }

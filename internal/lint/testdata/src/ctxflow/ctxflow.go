@@ -1,0 +1,57 @@
+// Package ctxflow seeds context-plumbing bugs: the ndprun regression (a
+// fresh context.Background where a live context is already in scope, so
+// cancellation silently stops propagating), a discarded cancel func,
+// and an undocumented context stored into a struct.
+package ctxflow
+
+import "context"
+
+func signalContext() context.Context {
+	return context.Background()
+}
+
+// run mirrors the real cmd/ndprun bug this rule was built to catch: the
+// cluster path constructed its own Background, so the signal-aware ctx
+// from line one never cancelled cluster runs.
+func run(addr string) error {
+	ctx := signalContext()
+	if err := health(ctx, addr); err != nil {
+		return err
+	}
+	return runConcurrent(context.Background(), addr) // want "already in scope"
+}
+
+// runThreaded is the repaired shape.
+func runThreaded(addr string) error {
+	ctx := signalContext()
+	if err := health(ctx, addr); err != nil {
+		return err
+	}
+	return runConcurrent(ctx, addr)
+}
+
+func health(ctx context.Context, addr string) error {
+	_ = addr
+	return ctx.Err()
+}
+
+func runConcurrent(ctx context.Context, addr string) error {
+	_ = addr
+	return ctx.Err()
+}
+
+// leakyDeadline throws away the cancel func: the context's timer and
+// goroutine can never be released early.
+func leakyDeadline(parent context.Context) context.Context {
+	ctx, _ := context.WithCancel(parent) // want "cancel function"
+	return ctx
+}
+
+type job struct {
+	ctx context.Context
+}
+
+// bind detaches the context's lifetime from the call tree.
+func bind(j *job, ctx context.Context) {
+	j.ctx = ctx // want "stored into a struct field"
+}

@@ -1,0 +1,57 @@
+// Package goroleak seeds goroutines with no termination witness: loops
+// that can never observe shutdown, spawned directly or through a
+// helper. Invisible to v1–v3 — nothing here is nondeterministic, out of
+// protocol order, or allocating on a hot path.
+package goroleak
+
+var samples int
+
+func sample() {
+	samples++
+}
+
+// spawnSampler's goroutine spins forever: no receive, no return, no
+// blocking call — it can never be told to stop.
+func spawnSampler() {
+	go func() { // want "termination witness"
+		for {
+			sample()
+		}
+	}()
+}
+
+// spawnWorker leaks interprocedurally: the endless loop is in worker's
+// body, visible only by resolving the go statement's callee.
+func spawnWorker() {
+	go worker() // want "termination witness"
+}
+
+func worker() {
+	for {
+		sample()
+	}
+}
+
+// spawnStoppable is witnessed: the loop selects on a stop channel.
+func spawnStoppable(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sample()
+		}
+	}()
+}
+
+// spawnDrainer is witnessed: ranging over a channel ends when the
+// spawner closes it.
+func spawnDrainer(ch chan int) {
+	go func() {
+		for v := range ch {
+			samples += v
+		}
+	}()
+}

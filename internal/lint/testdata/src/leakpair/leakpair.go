@@ -1,0 +1,163 @@
+// Package leakpair seeds resource-lifecycle bugs the v1–v3 analyzers
+// cannot see: every bug is a missing release on some path — not a
+// determinism, protocol, or allocation problem — so only the
+// path-sensitive obligation analysis catches them.
+package leakpair
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync"
+	"time"
+)
+
+var errLimit = errors.New("limit reached")
+
+// writeReport closes the file on the happy path but leaks it when the
+// header write fails: stamp neither closes nor stores its argument, so
+// the close obligation stays with the caller.
+func writeReport(path string) error {
+	f, err := os.Create(path) // want "not released on every path"
+	if err != nil {
+		return err
+	}
+	if err := stamp(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func stamp(f *os.File) error {
+	_, err := f.WriteString("# report\n")
+	return err
+}
+
+// writeReportClosed is the repaired shape: released on both exits.
+func writeReportClosed(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stamp(f); err != nil {
+		_ = f.Close() // the write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+type gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump returns holding the lock on the limit path — the next caller
+// deadlocks.
+func (g *gauge) bump(limit int) error {
+	g.mu.Lock() // want "not released on every path"
+	if g.n >= limit {
+		return errLimit
+	}
+	g.n++
+	g.mu.Unlock()
+	return nil
+}
+
+func (g *gauge) bumpBalanced(limit int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.n >= limit {
+		return errLimit
+	}
+	g.n++
+	return nil
+}
+
+// waitNext never stops the ticker: its goroutine and channel live until
+// process exit. The finding carries a mechanical fix (defer t.Stop()).
+func waitNext(ch chan int) int {
+	t := time.NewTicker(50 * time.Millisecond) // want "not released on every path"
+	select {
+	case <-t.C:
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+func waitNextStopped(ch chan int) int {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return 0
+	case v := <-ch:
+		return v
+	}
+}
+
+// watch cancels on the slow path only; the fast path leaks the context's
+// resources for the life of parent.
+func watch(parent context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(parent) // want "not released on every path"
+	if fast {
+		return probe(ctx)
+	}
+	err := probe(ctx)
+	cancel()
+	return err
+}
+
+func probe(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+type store struct {
+	refs int
+}
+
+type handle struct {
+	s *store
+}
+
+// open pins s until the returned handle is closed — the annotated,
+// project-specific pair (the same shape as the serve layer's snapshot
+// references).
+//
+//lint:pair acquire=open release=close
+func open(s *store) (*handle, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.refs++
+	return &handle{s: s}, true
+}
+
+func (h *handle) close() {
+	h.s.refs--
+}
+
+// peek leaks the handle on the contended path; reading a field through
+// the handle is a use, not an ownership transfer.
+func peek(s *store) int {
+	h, ok := open(s) // want "not released on every path"
+	if !ok {
+		return 0
+	}
+	if h.s.refs > 1 {
+		return h.s.refs
+	}
+	n := h.s.refs
+	h.close()
+	return n
+}
+
+func peekClosed(s *store) int {
+	h, ok := open(s)
+	if !ok {
+		return 0
+	}
+	defer h.close()
+	return h.s.refs
+}

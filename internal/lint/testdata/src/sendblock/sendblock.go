@@ -1,0 +1,45 @@
+// Package sendblock seeds the leaked-sender shape: goroutines sending
+// on an unbuffered channel whose receiver may leave early. The first
+// sender wins; every other goroutine blocks on its send forever.
+package sendblock
+
+func fetch(u string) string {
+	return u
+}
+
+// firstResult leaks len(urls)-1 goroutines: only one send is ever
+// received.
+func firstResult(urls []string) string {
+	ch := make(chan string)
+	for _, u := range urls {
+		go func(u string) {
+			ch <- fetch(u) // want "unbuffered channel"
+		}(u)
+	}
+	return <-ch
+}
+
+// firstResultBuffered is safe: every sender completes immediately.
+func firstResultBuffered(urls []string) string {
+	ch := make(chan string, len(urls))
+	for _, u := range urls {
+		go func(u string) {
+			ch <- fetch(u)
+		}(u)
+	}
+	return <-ch
+}
+
+// firstResultSelect is safe: each sender can be cancelled.
+func firstResultSelect(urls []string, done chan struct{}) string {
+	ch := make(chan string)
+	for _, u := range urls {
+		go func(u string) {
+			select {
+			case ch <- fetch(u):
+			case <-done:
+			}
+		}(u)
+	}
+	return <-ch
+}

@@ -178,6 +178,7 @@ func (r *Registry) Put(name string, g *graph.Graph) (SnapshotInfo, error) {
 // reference and must release it (the job manager does this when a job
 // leaves the system).
 //
+//lint:pair acquire=Get release=release
 //perf:hot
 func (r *Registry) Get(name string) (*Snapshot, bool) {
 	r.mu.RLock()

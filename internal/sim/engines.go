@@ -121,6 +121,7 @@ func (d *Disaggregated) RunContext(ctx context.Context, g *graph.Graph, k kernel
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow ex is local to this Run call; the ctx rides the execution it was handed to and dies with it
 	ex.ctx = ctx
 	ex.workers = d.Workers
 	ex.cached = cacheMask(g, d.CacheBytes)
@@ -303,6 +304,7 @@ func (d *DisaggregatedNDP) RunContext(ctx context.Context, g *graph.Graph, k ker
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow ex is local to this Run call; the ctx rides the execution it was handed to and dies with it
 	ex.ctx = ctx
 	ex.workers = d.Workers
 	ex.computeStaticPartials()
@@ -438,6 +440,7 @@ func runDistributed(ctx context.Context, topo Topology, assign *partition.Assign
 	if err != nil {
 		return nil, err
 	}
+	//lint:ignore ctxflow ex is local to this call; the ctx rides the execution it was handed to and dies with it
 	ex.ctx = ctx
 	ex.workers = workers
 	ex.computeMirrorCounts()

@@ -49,9 +49,20 @@ func CheckServed(sc Scenario) error {
 	if err != nil {
 		return failf(OracleServed, "listen: %v", err)
 	}
+	// The Serve goroutine is joined on exit: Shutdown drains in-flight
+	// requests, and receiving from served proves the goroutine is gone —
+	// an oracle run must not change the caller's goroutine count.
 	srv := &http.Server{Handler: serve.NewServer(mgr)}
-	go func() { _ = srv.Serve(ln) }()
-	defer srv.Close()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ln) }()
+	defer func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		if err := srv.Shutdown(sctx); err != nil {
+			_ = srv.Close()
+		}
+		<-served
+	}()
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()

@@ -61,6 +61,11 @@ fi
 # here standalone so a hot-loop allocation fails fast with positions).
 step go run ./cmd/ndplint -rules loopalloc,ifacebox,deferloop,closureloop -baseline lint-baseline.json ./...
 
+# Lifeflow dogfood: the resource-lifecycle analyzers must stay clean
+# module-wide — a leaked snapshot reference or severed context tree
+# fails fast here with positions.
+step go run ./cmd/ndplint -rules leakpair,goroleak,ctxflow,sendblock -baseline lint-baseline.json ./...
+
 step go test ./...
 
 # Alloc gate: the steady-state scatter/apply iteration of the execution
@@ -171,6 +176,10 @@ if [ "$FUZZ_SECONDS" -gt 0 ]; then
         # function bodies must reach a deterministic, monotone fixpoint
         # without panicking.
         "FuzzEscapeLattice ./internal/lint/perfflow/"
+        # The obligation lattice behind the lifeflow rules: same
+        # contract — deterministic fixpoints, and forgetting module
+        # facts only ever grows the leak set.
+        "FuzzLifecycleLattice ./internal/lint/lifeflow/"
     )
     for target in "${fuzz_targets[@]}"; do
         read -r name pkg <<< "$target"
