@@ -221,6 +221,77 @@ func BenchmarkEngineDisaggregatedNDP(b *testing.B) {
 	})
 }
 
+// benchKernelEngine measures the in-process kernel engine on the
+// hub-heavy com-LiveJournal stand-in: throughput is the nominal frontier
+// edge volume per second (work accomplished per wall-clock), so the
+// push-only and direction-optimized runs are directly comparable — the
+// hybrid accomplishes the same traversal while probing far fewer edges.
+func benchKernelEngine(b *testing.B, mk func() kernels.Kernel, dir kernels.Direction) {
+	g, err := gen.ComLiveJournal.Generate(0.5, gen.Config{Seed: 42, DropSelfLoops: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Transpose() // build the cached transpose outside the timer, like any warm service
+	b.ResetTimer()
+	var nominal, inspected int64
+	for i := 0; i < b.N; i++ {
+		res, err := kernels.RunSerialWith(g, mk(), kernels.Options{Direction: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nominal = 0
+		for _, e := range res.ActiveEdges {
+			nominal += e
+		}
+		inspected = res.EdgesInspected
+	}
+	b.ReportMetric(float64(nominal)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+	b.ReportMetric(float64(inspected), "inspected")
+}
+
+// BenchmarkEngineKernelBFSPush is the push-only BFS baseline.
+func BenchmarkEngineKernelBFSPush(b *testing.B) {
+	benchKernelEngine(b, func() kernels.Kernel { return kernels.NewBFS(0) }, kernels.DirectionPush)
+}
+
+// BenchmarkEngineKernelBFSDirOpt is direction-optimized BFS; the edges/s
+// gain over BenchmarkEngineKernelBFSPush is the PR's headline number.
+func BenchmarkEngineKernelBFSDirOpt(b *testing.B) {
+	benchKernelEngine(b, func() kernels.Kernel { return kernels.NewBFS(0) }, kernels.DirectionAuto)
+}
+
+// BenchmarkEngineKernelReachPush and BenchmarkEngineKernelReachDirOpt
+// extend the comparison to the second BFS-class kernel.
+func BenchmarkEngineKernelReachPush(b *testing.B) {
+	benchKernelEngine(b, func() kernels.Kernel { return kernels.NewReachability(0) }, kernels.DirectionPush)
+}
+
+func BenchmarkEngineKernelReachDirOpt(b *testing.B) {
+	benchKernelEngine(b, func() kernels.Kernel { return kernels.NewReachability(0) }, kernels.DirectionAuto)
+}
+
+// BenchmarkEngineKernelPageRankStaged tracks the staged parallel
+// machine on the float-sum kernel (bit-identical at every worker count).
+func BenchmarkEngineKernelPageRankStaged(b *testing.B) {
+	g, err := gen.ComLiveJournal.Generate(0.5, gen.Config{Seed: 42, DropSelfLoops: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var nominal int64
+	for i := 0; i < b.N; i++ {
+		res, err := kernels.Run(g, kernels.NewPageRank(10, 0.85), kernels.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nominal = 0
+		for _, e := range res.ActiveEdges {
+			nominal += e
+		}
+	}
+	b.ReportMetric(float64(nominal)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
 // BenchmarkPartitionMultilevel measures the METIS-style partitioner on
 // the com-LiveJournal stand-in at 32 parts.
 func BenchmarkPartitionMultilevel(b *testing.B) {

@@ -9,6 +9,7 @@
 //	ndprun -dataset uk-2005 -kernel pagerank -arch disaggregated-ndp -aggregate -partitioner multilevel
 //	ndprun -dataset com-livejournal -kernel cc -arch all -csv
 //	ndprun -graph my.gcsr -kernel sssp -arch disaggregated -cache 0.25
+//	ndprun -dataset twitter7 -kernel bfs -arch serial -direction auto
 //	ndprun -dataset wiki-talk -kernel cc -cluster -treefanin 4 \
 //	    -fault-seed 7 -fault-drop 0.2 -fault-dup 0.1 -crash 2@1
 //
@@ -87,6 +88,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// -arch serial bypasses the simulator entirely: it runs the in-process
+	// kernel engine (direction-optimized, staged-parallel) and reports the
+	// traversal telemetry instead of the movement ledger.
+	if ef.Arch == "serial" {
+		if err := runSerialEngine(g, k, gf, ef, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	p, err := ef.MakePartitioner(gf.Seed)
 	if err != nil {
 		fatal(err)
@@ -178,6 +190,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// runSerialEngine executes the kernel on the in-process engine with the
+// direction flags applied and prints the direction/inspection telemetry
+// the hybrid traversal exists for.
+func runSerialEngine(g *graph.Graph, k kernels.Kernel, gf cliconf.GraphFlags, ef cliconf.EngineFlags, csv bool) error {
+	opt, err := ef.EngineOptions()
+	if err != nil {
+		return err
+	}
+	res, err := kernels.Run(g, k, opt)
+	if err != nil {
+		return err
+	}
+	var nominal int64
+	for _, e := range res.ActiveEdges {
+		nominal += e
+	}
+	t := metrics.NewTable(
+		fmt.Sprintf("%s on %s (V=%d E=%d, kernel engine, direction %s, workers=%d)",
+			k.Name(), gf.Label(), g.NumVertices(), g.NumEdges(), opt.Direction, opt.Workers),
+		"Iterations", "Converged", "Push iters", "Pull iters", "Frontier edges", "Edges inspected")
+	t.AddRow(res.Iterations, res.Converged, res.PushIterations, res.PullIterations, nominal, res.EdgesInspected)
+	render := t.Render
+	if csv {
+		render = t.RenderCSV
+	}
+	return render(os.Stdout)
 }
 
 // runServed submits the run to an ndpserve instance: upload the graph

@@ -95,12 +95,15 @@ type EngineFlags struct {
 	SwitchBuf   int64
 	PRIters     int
 	Workers     int
+	Direction   string
+	Alpha       float64
+	Beta        float64
 }
 
 // Register installs the group on fs with the standard names.
 func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Kernel, "kernel", "pagerank", "kernel: pagerank | pagerank-delta | ppr | cc | bfs | sssp | sswp | indegree | reach")
-	fs.StringVar(&f.Arch, "arch", "disaggregated-ndp", "architecture: distributed | distributed-ndp | disaggregated | disaggregated-ndp | all")
+	fs.StringVar(&f.Arch, "arch", "disaggregated-ndp", "architecture: distributed | distributed-ndp | disaggregated | disaggregated-ndp | all | serial (in-process kernel engine, no simulation)")
 	fs.IntVar(&f.Partitions, "partitions", 8, "memory nodes / partitions")
 	fs.IntVar(&f.Computes, "computes", 2, "compute nodes")
 	fs.StringVar(&f.Partitioner, "partitioner", "hash", "hash | range | chunk | ldg | multilevel")
@@ -111,6 +114,38 @@ func (f *EngineFlags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&f.SwitchBuf, "switchbuffer", 0, "switch aggregation buffer entries (0 = unlimited)")
 	fs.IntVar(&f.PRIters, "priters", 10, "PageRank iterations")
 	fs.IntVar(&f.Workers, "workers", 0, "simulator worker pool size (0 = GOMAXPROCS); results are identical for every setting")
+	fs.StringVar(&f.Direction, "direction", "auto", "kernel engine traversal direction: auto | push | pull (pull needs a gather-capable kernel)")
+	fs.Float64Var(&f.Alpha, "alpha", 0, "direction switch: pull when frontier edges > remaining/alpha (0 = default 14)")
+	fs.Float64Var(&f.Beta, "beta", 0, "direction switch: pull only when frontier > vertices/beta (0 = default 24)")
+}
+
+// ParseDirection maps a direction flag value to the kernel engine enum.
+func ParseDirection(name string) (kernels.Direction, error) {
+	switch name {
+	case "auto", "":
+		return kernels.DirectionAuto, nil
+	case "push":
+		return kernels.DirectionPush, nil
+	case "pull":
+		return kernels.DirectionPull, nil
+	default:
+		return 0, fmt.Errorf("unknown direction %q (want auto, push, or pull)", name)
+	}
+}
+
+// EngineOptions resolves the flag group's kernel-engine options
+// (direction mode, switch thresholds, worker pool width).
+func (f *EngineFlags) EngineOptions() (kernels.Options, error) {
+	dir, err := ParseDirection(f.Direction)
+	if err != nil {
+		return kernels.Options{}, err
+	}
+	return kernels.Options{
+		Workers:   f.Workers,
+		Direction: dir,
+		Alpha:     f.Alpha,
+		Beta:      f.Beta,
+	}, nil
 }
 
 // MakeKernel resolves the flag group's kernel.

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // VertexID identifies a vertex. Graphs are limited to 2^32-1 vertices,
@@ -36,6 +37,14 @@ type Graph struct {
 	offsets []int64
 	edges   []VertexID
 	weights []float32
+
+	// transposeOnce guards the lazily built transpose below. The graph is
+	// immutable, so its transpose is a pure function of it: build it once
+	// on first request and share it with every subsequent caller — pull
+	// traversals, direction-optimized BFS, and concurrent serve jobs all
+	// hit the same cached instance.
+	transposeOnce sync.Once
+	transpose     *Graph
 }
 
 // ErrTooManyVertices is returned when a builder is asked to construct a
@@ -155,7 +164,26 @@ func (g *Graph) ForEachEdge(fn func(src, dst VertexID, w float32) bool) {
 
 // Transpose returns the graph with all edge directions reversed. Weights
 // are carried along. The result satisfies the same CSR invariants.
+//
+// The transpose is computed on the first call and cached: repeated calls
+// (every pull iteration of the kernel engine, every served direction-
+// optimized job) return the same *Graph. The cache links back, so
+// g.Transpose().Transpose() == g without a second O(E) pass. Safe for
+// concurrent use.
 func (g *Graph) Transpose() *Graph {
+	g.transposeOnce.Do(func() {
+		tr := g.computeTranspose()
+		tr.transpose = g
+		// Mark the back-link as already built so a Transpose() call on the
+		// transpose takes the cached path instead of recomputing.
+		tr.transposeOnce.Do(func() {})
+		g.transpose = tr
+	})
+	return g.transpose
+}
+
+// computeTranspose does the O(E) counting-sort construction.
+func (g *Graph) computeTranspose() *Graph {
 	n := g.NumVertices()
 	m := g.NumEdges()
 	deg := make([]int64, n+1)

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Vertex relabeling and cache-conscious CSR layouts.
+//
+// CSR traversal performance is dominated by the random accesses into the
+// destination property array; a relabeling that packs the vertices
+// touched most often into a contiguous id prefix turns those accesses
+// into hits on a few hot cache lines. Degree sorting is the classic
+// instance: on power-law graphs a small hub prefix absorbs most edge
+// endpoints, so sorting by descending degree cache-blocks the property
+// and frontier arrays around the hubs.
+
+// DegreeSortedOrder returns the degree-sorted relabeling as a permutation:
+// order[newID] = oldID, with vertices sorted by descending total degree
+// (out-degree plus in-degree, so hubs of either direction land in the hot
+// prefix) and ties broken by ascending old id for determinism.
+func DegreeSortedOrder(g *Graph) []VertexID {
+	n := g.NumVertices()
+	total := g.InDegrees()
+	for v := 0; v < n; v++ {
+		total[v] += g.OutDegree(VertexID(v))
+	}
+	order := make([]VertexID, n)
+	for v := range order {
+		order[v] = VertexID(v)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := total[order[i]], total[order[j]]
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// Relabel returns the graph under the vertex permutation order, where
+// order[newID] = oldID. Edges are remapped and each neighbor list
+// re-sorted so the result satisfies the usual CSR invariants; weights
+// travel with their edges.
+func (g *Graph) Relabel(order []VertexID) (*Graph, error) {
+	n := g.NumVertices()
+	if len(order) != n {
+		return nil, errPermLength(len(order), n)
+	}
+	inv := make([]int64, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for newV, oldV := range order {
+		if int(oldV) >= n || inv[oldV] != -1 {
+			return nil, errNotPermutation(newV, oldV)
+		}
+		inv[oldV] = int64(newV)
+	}
+	offsets := make([]int64, n+1)
+	for newV, oldV := range order {
+		offsets[newV+1] = offsets[newV] + g.OutDegree(oldV)
+	}
+	edges := make([]VertexID, g.NumEdges())
+	var weights []float32
+	if g.weights != nil {
+		weights = make([]float32, g.NumEdges())
+	}
+	for newV, oldV := range order {
+		lo, hi := g.EdgeRange(oldV)
+		base := offsets[newV]
+		for i := lo; i < hi; i++ {
+			edges[base+(i-lo)] = VertexID(inv[g.edges[i]])
+			if weights != nil {
+				weights[base+(i-lo)] = g.weights[i]
+			}
+		}
+		sortNeighbors(edges[base:base+(hi-lo)], weightsSlice(weights, base, hi-lo))
+	}
+	return NewCSR(offsets, edges, weights)
+}
+
+// DegreeSortedLayout relabels the graph into descending-degree order —
+// the cache-blocked CSR layout option the kernel engine can run on. It
+// returns the relabeled graph and the permutation (order[newID] = oldID).
+// A run on the relabeled graph is equivalent to a run on the original
+// after remapping sources through InverseOrder and values through
+// ValuesToOriginal.
+func DegreeSortedLayout(g *Graph) (*Graph, []VertexID, error) {
+	order := DegreeSortedOrder(g)
+	rg, err := g.Relabel(order)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rg, order, nil
+}
+
+// InverseOrder inverts a relabeling permutation: given order[newID] =
+// oldID it returns inv with inv[oldID] = newID.
+func InverseOrder(order []VertexID) []VertexID {
+	inv := make([]VertexID, len(order))
+	for newV, oldV := range order {
+		inv[oldV] = VertexID(newV)
+	}
+	return inv
+}
+
+// ValuesToOriginal maps a per-vertex result computed on a relabeled graph
+// back to original vertex ids: out[order[newID]] = values[newID].
+func ValuesToOriginal(values []float64, order []VertexID) []float64 {
+	out := make([]float64, len(values))
+	for newV, oldV := range order {
+		out[oldV] = values[newV]
+	}
+	return out
+}
+
+// sortNeighbors sorts one neighbor list ascending, carrying the parallel
+// weight slice (nil for unweighted graphs) through the same swaps.
+func sortNeighbors(dst []VertexID, w []float32) {
+	if w == nil {
+		sort.Slice(dst, func(i, j int) bool { return dst[i] < dst[j] })
+		return
+	}
+	sort.Sort(&edgePairs{dst: dst, w: w})
+}
+
+// weightsSlice views the weight run parallel to an edge run, nil-safe.
+func weightsSlice(weights []float32, base, length int64) []float32 {
+	if weights == nil {
+		return nil
+	}
+	return weights[base : base+length]
+}
+
+// edgePairs sorts a neighbor list and its parallel weights together.
+type edgePairs struct {
+	dst []VertexID
+	w   []float32
+}
+
+func (p *edgePairs) Len() int           { return len(p.dst) }
+func (p *edgePairs) Less(i, j int) bool { return p.dst[i] < p.dst[j] }
+func (p *edgePairs) Swap(i, j int) {
+	p.dst[i], p.dst[j] = p.dst[j], p.dst[i]
+	p.w[i], p.w[j] = p.w[j], p.w[i]
+}
+
+func errPermLength(got, want int) error {
+	return fmt.Errorf("graph: permutation length %d, want %d", got, want)
+}
+
+func errNotPermutation(newV int, oldV VertexID) error {
+	return fmt.Errorf("graph: order[%d] = %d is out of range or repeated", newV, oldV)
+}

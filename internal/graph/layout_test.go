@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+)
+
+// layoutTestGraph builds a small weighted graph with a clear hub (vertex
+// 2 touches everything) for degree-order assertions.
+func layoutTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(5)
+	b.AddEdge(2, 0, 1)
+	b.AddEdge(2, 1, 2)
+	b.AddEdge(2, 3, 3)
+	b.AddEdge(2, 4, 4)
+	b.AddEdge(0, 2, 5)
+	b.AddEdge(1, 2, 6)
+	b.AddEdge(3, 4, 7)
+	g, err := b.BuildWeighted()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestTransposeCached pins the transpose cache the direction-optimized
+// engine relies on: repeated calls return the same graph, the round trip
+// returns the original, and concurrent first calls agree.
+func TestTransposeCached(t *testing.T) {
+	g := layoutTestGraph(t)
+	tr := g.Transpose()
+	if g.Transpose() != tr {
+		t.Fatal("second Transpose() returned a different graph")
+	}
+	if tr.Transpose() != g {
+		t.Fatal("Transpose().Transpose() is not the original graph")
+	}
+
+	g2 := layoutTestGraph(t)
+	results := make([]*Graph, 8)
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = g2.Transpose()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if results[i] != results[0] {
+			t.Fatal("concurrent Transpose() calls returned different graphs")
+		}
+	}
+}
+
+// TestTransposeEdgesReversed sanity-checks the cached transpose still
+// computes the reversal (weights riding along).
+func TestTransposeEdgesReversed(t *testing.T) {
+	g := layoutTestGraph(t)
+	tr := g.Transpose()
+	if tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("transpose has %d edges, want %d", tr.NumEdges(), g.NumEdges())
+	}
+	// Edge 3 -> 4 with weight 7 must appear as 4 -> 3.
+	lo, hi := tr.EdgeRange(4)
+	found := false
+	for i := lo; i < hi; i++ {
+		if tr.Edges()[i] == 3 && tr.Weights()[i] == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("transpose lost edge 3->4 (weight 7)")
+	}
+}
+
+// TestDegreeSortedOrder checks the permutation sorts by descending total
+// degree with ascending-id tie-breaks.
+func TestDegreeSortedOrder(t *testing.T) {
+	g := layoutTestGraph(t)
+	order := DegreeSortedOrder(g)
+	if order[0] != 2 {
+		t.Fatalf("hub is order[0] = %d, want 2", order[0])
+	}
+	degrees := g.InDegrees()
+	total := func(v VertexID) int64 {
+		return degrees[v] + g.OutDegree(v)
+	}
+	for i := 1; i < len(order); i++ {
+		a, b := order[i-1], order[i]
+		da, db := total(a), total(b)
+		if da < db || (da == db && a > b) {
+			t.Fatalf("order[%d]=%d (deg %d) before order[%d]=%d (deg %d)", i-1, a, da, i, b, db)
+		}
+	}
+}
+
+// TestRelabelRoundTrip checks Relabel preserves the edge multiset with
+// weights, and that InverseOrder/ValuesToOriginal undo the mapping.
+func TestRelabelRoundTrip(t *testing.T) {
+	g := layoutTestGraph(t)
+	rg, order, err := DegreeSortedLayout(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := InverseOrder(order)
+	for v := 0; v < g.NumVertices(); v++ {
+		if order[inv[v]] != VertexID(v) {
+			t.Fatalf("InverseOrder broken at %d", v)
+		}
+	}
+	// Every original edge (u,v,w) must exist as (inv[u], inv[v], w).
+	for u := 0; u < g.NumVertices(); u++ {
+		lo, hi := g.EdgeRange(VertexID(u))
+		for i := lo; i < hi; i++ {
+			dst, w := g.Edges()[i], g.Weights()[i]
+			rlo, rhi := rg.EdgeRange(inv[u])
+			found := false
+			for j := rlo; j < rhi; j++ {
+				if rg.Edges()[j] == inv[dst] && rg.Weights()[j] == w {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d (w=%v) lost in relabeling", u, dst, w)
+			}
+		}
+	}
+	// Values written in relabeled id space map back to original ids.
+	vals := make([]float64, g.NumVertices())
+	for newV := range vals {
+		vals[newV] = float64(order[newV]) // value = original id
+	}
+	back := ValuesToOriginal(vals, order)
+	for v := range back {
+		if back[v] != float64(v) {
+			t.Fatalf("ValuesToOriginal[%d] = %v, want %v", v, back[v], float64(v))
+		}
+	}
+}
+
+// TestRelabelRejectsBadPermutations checks validation of non-permutation
+// inputs.
+func TestRelabelRejectsBadPermutations(t *testing.T) {
+	g := layoutTestGraph(t)
+	if _, err := g.Relabel([]VertexID{0, 1, 2}); err == nil {
+		t.Fatal("accepted short permutation")
+	}
+	if _, err := g.Relabel([]VertexID{0, 1, 2, 3, 3}); err == nil {
+		t.Fatal("accepted repeated id")
+	}
+	if _, err := g.Relabel([]VertexID{0, 1, 2, 3, 9}); err == nil {
+		t.Fatal("accepted out-of-range id")
+	}
+}

@@ -2,18 +2,23 @@ package kernels
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
 )
 
 // Direction-optimizing BFS (Beamer et al.): push iterations scatter from
 // the frontier along out-edges; pull iterations scan *unvisited* vertices
-// and probe their in-neighbors, breaking at the first visited parent.
+// and probe their in-neighbors, breaking at the first frontier parent.
 // On low-diameter natural graphs the middle iterations have huge
 // frontiers, where pull inspects a small fraction of the edges push
 // would — the same traversal-volume lever the paper's offload decisions
 // operate on, applied within a node.
+//
+// The hybrid traversal now lives in the shared kernel engine (engine.go)
+// where every GatherKernel gets it; this entry point remains as the
+// BFS-specific convenience API. It runs on the engine, so it inherits
+// the cached graph transpose (built once per graph, not once per call)
+// and the engine's double-buffered, allocation-free iteration machinery.
 
 // DirOptStats reports what the hybrid traversal did.
 type DirOptStats struct {
@@ -29,81 +34,22 @@ type DirOptStats struct {
 // push/pull switching: pull when the frontier's out-edge volume exceeds
 // the remaining unexplored volume divided by alpha, push otherwise (beta
 // plays the standard role of switching back on small frontiers).
-// alpha, beta <= 0 select the conventional 14 and 24.
+// alpha, beta <= 0 select the conventional DefaultAlpha and DefaultBeta.
 //
 // Results are identical to BFSClassic.
 func RunBFSDirectionOptimized(g *graph.Graph, source graph.VertexID, alpha, beta float64) ([]float64, DirOptStats, error) {
 	if int(source) >= g.NumVertices() {
 		return nil, DirOptStats{}, fmt.Errorf("kernels: source %d outside graph with %d vertices", source, g.NumVertices())
 	}
-	if alpha <= 0 {
-		alpha = 14
+	res, err := RunSerialWith(g, NewBFS(source), Options{
+		Direction: DirectionAuto, Alpha: alpha, Beta: beta,
+	})
+	if err != nil {
+		return nil, DirOptStats{}, err
 	}
-	if beta <= 0 {
-		beta = 24
-	}
-	n := g.NumVertices()
-	tr := g.Transpose()
-	const unvisited = -1
-	levels := make([]int32, n)
-	for i := range levels {
-		levels[i] = unvisited
-	}
-	levels[source] = 0
-	frontier := []graph.VertexID{source}
-	var stats DirOptStats
-	remainingEdges := g.NumEdges()
-
-	level := int32(0)
-	for len(frontier) > 0 {
-		// Frontier out-edge volume decides the direction.
-		var frontierEdges int64
-		for _, v := range frontier {
-			frontierEdges += g.OutDegree(v)
-		}
-		remainingEdges -= frontierEdges
-		pull := float64(frontierEdges) > float64(remainingEdges)/alpha &&
-			float64(len(frontier)) > float64(n)/beta
-
-		next := frontier[:0:0]
-		if pull {
-			stats.PullIterations++
-			// Scan unvisited vertices; first visited in-neighbor wins.
-			for v := 0; v < n; v++ {
-				if levels[v] != unvisited {
-					continue
-				}
-				for _, u := range tr.Neighbors(graph.VertexID(v)) {
-					stats.EdgesInspected++
-					if levels[u] == level {
-						levels[v] = level + 1
-						next = append(next, graph.VertexID(v))
-						break
-					}
-				}
-			}
-		} else {
-			stats.PushIterations++
-			for _, v := range frontier {
-				for _, d := range g.Neighbors(v) {
-					stats.EdgesInspected++
-					if levels[d] == unvisited {
-						levels[d] = level + 1
-						next = append(next, d)
-					}
-				}
-			}
-		}
-		frontier = next
-		level++
-	}
-	out := make([]float64, n)
-	for v, l := range levels {
-		if l == unvisited {
-			out[v] = math.Inf(1)
-		} else {
-			out[v] = float64(l)
-		}
-	}
-	return out, stats, nil
+	return res.Values, DirOptStats{
+		PushIterations: res.PushIterations,
+		PullIterations: res.PullIterations,
+		EdgesInspected: res.EdgesInspected,
+	}, nil
 }

@@ -115,3 +115,53 @@ func BenchmarkDirOptBFS(b *testing.B) {
 		}
 	}
 }
+
+// TestDirOptTransposeCachedAcrossRuns pins the satellite bugfix: the
+// transpose is built once per graph and shared by every hybrid run, not
+// rebuilt per call.
+func TestDirOptTransposeCachedAcrossRuns(t *testing.T) {
+	g, err := gen.Twitter7.Generate(0.25, gen.Config{Seed: 7, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunBFSDirectionOptimized(g, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	if _, _, err := RunBFSDirectionOptimized(g, graph.VertexID(g.NumVertices()/2), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.Transpose() != tr {
+		t.Fatal("second hybrid run rebuilt the transpose")
+	}
+	if tr.Transpose() != g {
+		t.Fatal("transpose round trip is not the original graph")
+	}
+}
+
+// TestDirOptAllocBound is the before/after allocation test for the
+// frontier-churn bug: the old implementation allocated a fresh next
+// frontier every level (plus a transpose per call), so a warm run on a
+// 2000-level chain cost thousands of allocations. On the engine a run
+// costs only its constant setup — independent of the iteration count up
+// to the amortized telemetry appends.
+func TestDirOptAllocBound(t *testing.T) {
+	n := 2000
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(i+1), 1)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() {
+		if _, _, err := RunBFSDirectionOptimized(g, 0, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the graph-side caches (transpose is unused on a chain but cheap)
+	if allocs := testing.AllocsPerRun(5, run); allocs > 64 {
+		t.Fatalf("hybrid BFS run allocates %.0f times on a %d-level chain; want setup-only (<= 64)", allocs, n)
+	}
+}

@@ -1,0 +1,705 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// This file is the shared kernel engine: one iteration machine behind
+// RunSerial, RunSerialWith, Run, and RunParallel.
+//
+// Two independent axes are generalized here:
+//
+//   - Direction. Push iterations scatter the frontier's out-edges (the
+//     paper's Traverse). Pull iterations scan candidate destinations and
+//     probe their in-neighbors on the cached transpose, stopping early
+//     once the aggregate saturates (GatherKernel.GatherDone) — Beamer's
+//     bottom-up step generalized from BFS to every kernel with an exact
+//     min/max aggregate. Because pull visits the same contribution set
+//     push would, and min/max are order-independent in float64, the two
+//     directions produce bit-identical Results; only the EdgesInspected
+//     telemetry differs, which is the point.
+//
+//   - Parallelism. The staged machine partitions each phase over a fixed
+//     grid of engineChunks chunks, claimed by a persistent worker pool
+//     off an atomic cursor. Each chunk stages a compact pre-aggregated
+//     update list; a single-threaded merge folds the lists in chunk
+//     order 0..C-1. The reduction tree depends only on the chunk grid —
+//     never on the worker count or goroutine schedule — so Run is
+//     bit-identical at every Workers setting (the same guarantee
+//     internal/sim's partition-staged machine makes).
+//
+// Steady-state iterations allocate nothing: all buffers live in the
+// engine struct and are reused across iterations (gated by
+// TestEngineAllocGate, mirroring internal/sim's TestAllocGate).
+
+// Direction selects the traversal direction of the kernel engine.
+type Direction int
+
+const (
+	// DirectionAuto switches per iteration: pull when the frontier's
+	// out-edge volume exceeds the remaining unexplored volume divided by
+	// alpha and the frontier holds more than 1/beta of the vertices
+	// (Beamer's heuristic), push otherwise. Kernels without a
+	// GatherKernel implementation, and fixed-point kernels whose
+	// frontier is always the full vertex set, always push.
+	DirectionAuto Direction = iota
+	// DirectionPush always scatters along frontier out-edges.
+	DirectionPush
+	// DirectionPull always gathers along in-edges; requires the kernel
+	// to implement GatherKernel.
+	DirectionPull
+)
+
+// String returns the direction name as accepted by CLI flags.
+func (d Direction) String() string {
+	switch d {
+	case DirectionAuto:
+		return "auto"
+	case DirectionPush:
+		return "push"
+	case DirectionPull:
+		return "pull"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// DefaultAlpha and DefaultBeta are the conventional direction-switch
+// thresholds (Beamer et al.).
+const (
+	DefaultAlpha = 14
+	DefaultBeta  = 24
+)
+
+// engineChunks is the fixed width of the staged machine's chunk grid.
+// It bounds both the merge fan-in and the useful worker count, and must
+// not depend on the worker count — the grid is the reduction tree.
+const engineChunks = 64
+
+// Options configures a kernel engine run.
+type Options struct {
+	// Workers sets the worker-pool width for Run (0 selects GOMAXPROCS,
+	// capped at the chunk-grid width). Results are bit-identical for
+	// every setting. RunSerialWith ignores it.
+	Workers int
+	// Direction selects push, pull, or per-iteration auto switching.
+	Direction Direction
+	// Alpha and Beta tune the auto switch; values <= 0 select
+	// DefaultAlpha and DefaultBeta.
+	Alpha, Beta float64
+}
+
+// stagedUpdate is one staged partial: the pre-aggregated contribution a
+// single chunk produced for one destination this iteration.
+type stagedUpdate struct {
+	dst graph.VertexID
+	val float64
+}
+
+// pushScratch is one worker's dense per-destination index: stamp dedupes
+// destinations within a chunk and slot locates the partial in the
+// chunk's compact update list. Stamps are keyed iteration*C+chunk —
+// unique per (iteration, chunk) — so one scratch serves every chunk the
+// worker claims without clearing.
+type pushScratch struct {
+	stamp []int64
+	slot  []int32
+}
+
+// engine is the reusable working set of the kernel iteration machine:
+// every buffer the loop touches, allocated once so the steady-state
+// iteration allocates nothing.
+type engine struct {
+	g     *graph.Graph
+	k     Kernel
+	gk    GatherKernel
+	sk    StatefulKernel
+	hasGK bool
+	hasSK bool
+	tr    Traits
+	n     int
+
+	// staged selects the chunk-staged parallel machine; false is the
+	// serial reference, which aggregates directly per destination in
+	// traversal order (the float-sum association golden tests pin).
+	staged bool
+	// C is the chunk-grid width (staged mode).
+	C int
+
+	dir         Direction
+	alpha, beta float64
+
+	values   []float64
+	frontier *Frontier
+	spare    *Frontier
+	res      *Result
+
+	agg      []float64
+	has      []bool
+	identity float64
+
+	// tpose caches graph.Transpose() locally; built on the first pull
+	// iteration (the graph itself caches it across engines and runs).
+	tpose *graph.Graph
+
+	// Per-iteration prepared state.
+	iter          int
+	pull          bool
+	frontierEdges int64
+	remaining     int64
+	inspected     int64
+
+	// Staged-mode working set. active materializes the frontier once per
+	// iteration; the chunk grid slices it for push and the vertex range
+	// for pull/apply.
+	active            []graph.VertexID
+	scratch           []pushScratch
+	chunkUpd          [][]stagedUpdate
+	inspectedPerChunk []int64
+	activatedPerChunk [][]graph.VertexID
+	residualPerChunk  []float64
+
+	pool      *workerPool
+	pushTask  func(worker, c int)
+	pullTask  func(worker, c int)
+	applyTask func(worker, c int)
+}
+
+// Run executes the kernel on the staged parallel machine. Semantics
+// match RunSerial: min/max kernels produce bit-identical values, and
+// float sums are reassociated only by the fixed chunk-staged reduction —
+// so the full Result is bit-identical at every Workers setting,
+// including Workers=1.
+func Run(g *graph.Graph, k Kernel, opt Options) (*Result, error) {
+	e, err := newEngine(g, k, opt, true)
+	if err != nil {
+		return nil, err
+	}
+	if e.pool != nil {
+		defer e.pool.close()
+	}
+	return e.run()
+}
+
+// newEngine validates inputs and builds the machine. Per-worker push
+// scratch rides on two flat arenas, so the setup loop assembles slice
+// views instead of allocating per worker.
+func newEngine(g *graph.Graph, k Kernel, opt Options, staged bool) (*engine, error) {
+	if err := CheckGraph(g, k); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		g: g, k: k,
+		tr:     k.Traits(),
+		n:      g.NumVertices(),
+		staged: staged,
+		dir:    opt.Direction,
+		alpha:  opt.Alpha,
+		beta:   opt.Beta,
+	}
+	if e.alpha <= 0 {
+		e.alpha = DefaultAlpha
+	}
+	if e.beta <= 0 {
+		e.beta = DefaultBeta
+	}
+	e.gk, e.hasGK = k.(GatherKernel)
+	e.sk, e.hasSK = k.(StatefulKernel)
+	switch opt.Direction {
+	case DirectionAuto, DirectionPush:
+	case DirectionPull:
+		if !e.hasGK {
+			return nil, fmt.Errorf("kernels: %s does not implement GatherKernel; pull traversal unavailable", k.Name())
+		}
+	default:
+		return nil, fmt.Errorf("kernels: unknown direction %d", int(opt.Direction))
+	}
+	n := e.n
+	e.values = make([]float64, n)
+	for v := 0; v < n; v++ {
+		e.values[v] = k.InitialValue(g, graph.VertexID(v))
+	}
+	e.frontier = NewFrontier(n)
+	e.spare = NewFrontier(n)
+	if init := k.InitialFrontier(g); init == nil {
+		e.frontier.ActivateAll()
+	} else {
+		for _, v := range init {
+			e.frontier.Activate(v)
+		}
+	}
+	e.res = &Result{Values: e.values}
+	e.agg = make([]float64, n)
+	e.has = make([]bool, n)
+	e.identity = k.Identity()
+	e.remaining = g.NumEdges()
+	if !staged {
+		return e, nil
+	}
+
+	W := opt.Workers
+	if W <= 0 {
+		W = runtime.GOMAXPROCS(0)
+	}
+	if W > engineChunks {
+		W = engineChunks
+	}
+	e.C = engineChunks
+	e.active = make([]graph.VertexID, 0, n)
+	e.scratch = make([]pushScratch, W)
+	stamps := make([]int64, W*n)
+	slots := make([]int32, W*n)
+	for i := range stamps {
+		stamps[i] = -1
+	}
+	for w := range e.scratch {
+		e.scratch[w] = pushScratch{
+			stamp: stamps[w*n : (w+1)*n],
+			slot:  slots[w*n : (w+1)*n],
+		}
+	}
+	e.chunkUpd = make([][]stagedUpdate, e.C)
+	e.inspectedPerChunk = make([]int64, e.C)
+	e.activatedPerChunk = make([][]graph.VertexID, e.C)
+	e.residualPerChunk = make([]float64, e.C)
+	e.pushTask = func(w, c int) { e.pushChunk(w, c) }
+	e.pullTask = func(_, c int) {
+		lo, hi := e.vtxChunk(c)
+		e.inspectedPerChunk[c] = e.pullRange(lo, hi)
+	}
+	e.applyTask = func(_, c int) { e.applyChunk(c) }
+	if W > 1 {
+		e.pool = newWorkerPool(W)
+	}
+	return e, nil
+}
+
+// vtxChunk bounds chunk c of the fixed vertex-range grid.
+func (e *engine) vtxChunk(c int) (lo, hi int) {
+	return e.n * c / e.C, e.n * (c + 1) / e.C
+}
+
+// activeChunk bounds chunk c of this iteration's frontier slice. The
+// grid depends on the frontier alone, never on the worker count.
+func (e *engine) activeChunk(c int) (lo, hi int) {
+	a := len(e.active)
+	return a * c / e.C, a * (c + 1) / e.C
+}
+
+// run executes the kernel to completion.
+//
+//perf:hot
+func (e *engine) run() (*Result, error) {
+	res, tr := e.res, e.tr
+	for iter := 0; iter < tr.MaxIterations; iter++ {
+		if e.frontier.Count() == 0 {
+			res.Converged = true
+			break
+		}
+		e.prepare(iter)
+		res.FrontierSizes = append(res.FrontierSizes, e.frontier.Count())
+		e.traverse()
+		res.ActiveEdges = append(res.ActiveEdges, e.frontierEdges)
+		res.EdgesInspected += e.inspected
+		if e.pull {
+			res.PullIterations++
+		} else {
+			res.PushIterations++
+		}
+		res.Iterations++
+
+		// Stateful kernels consume the frontier's pending state once the
+		// traversal is complete, before any Apply of this iteration.
+		if e.hasSK {
+			e.frontier.ForEach(e.sk.OnScattered)
+		}
+
+		next, residual := e.apply()
+		if tr.AllVerticesActive {
+			if tr.Epsilon > 0 && residual < tr.Epsilon {
+				res.Converged = true
+				break
+			}
+			next.ActivateAll()
+		}
+		e.spare = e.frontier
+		e.frontier = next
+	}
+	if !res.Converged && res.Iterations < tr.MaxIterations {
+		res.Converged = true
+	}
+	return res, nil
+}
+
+// prepare computes the frontier's out-edge volume (materializing the
+// frontier for the staged machine), updates the remaining-volume
+// estimate, and decides this iteration's direction: pull exactly when
+// the frontier's out-edge volume exceeds remaining/alpha AND the
+// frontier holds more than n/beta vertices — the same alpha/beta rule
+// the standalone direction-optimized BFS used.
+func (e *engine) prepare(iter int) {
+	e.iter = iter
+	e.frontierEdges = 0
+	g := e.g
+	if e.staged {
+		e.active = e.active[:0]
+		e.frontier.ForEach(func(v graph.VertexID) {
+			e.active = append(e.active, v)
+			e.frontierEdges += g.OutDegree(v)
+		})
+	} else {
+		e.frontier.ForEach(func(v graph.VertexID) {
+			e.frontierEdges += g.OutDegree(v)
+		})
+	}
+	e.remaining -= e.frontierEdges
+	if e.remaining < 0 {
+		e.remaining = 0
+	}
+	switch {
+	case e.dir == DirectionPush || !e.hasGK || e.tr.AllVerticesActive:
+		e.pull = false
+	case e.dir == DirectionPull:
+		e.pull = true
+	default:
+		e.pull = float64(e.frontierEdges) > float64(e.remaining)/e.alpha &&
+			float64(e.frontier.Count()) > float64(e.n)/e.beta
+	}
+	if e.pull && e.tpose == nil {
+		e.tpose = g.Transpose()
+	}
+}
+
+// traverse clears the aggregation arrays and runs the chosen direction.
+// ActiveEdges accounting stays the nominal frontier out-edge volume in
+// both directions; EdgesInspected records the probes actually made.
+//
+//perf:hot
+func (e *engine) traverse() {
+	for i := range e.agg {
+		e.agg[i] = e.identity
+		e.has[i] = false
+	}
+	if e.pull {
+		if e.staged {
+			e.runTasks(e.pullTask)
+			var inspected int64
+			for c := 0; c < e.C; c++ {
+				inspected += e.inspectedPerChunk[c]
+			}
+			e.inspected = inspected
+		} else {
+			e.inspected = e.pullRange(0, e.n)
+		}
+		return
+	}
+	e.inspected = e.frontierEdges
+	if e.staged {
+		e.runTasks(e.pushTask)
+		e.mergeChunks()
+		return
+	}
+	e.pushSerial()
+}
+
+// pushSerial scatters the frontier's out-edges, aggregating directly per
+// destination in traversal order — the serial reference semantics every
+// other engine is validated against.
+//
+//perf:hot
+func (e *engine) pushSerial() {
+	g, k := e.g, e.k
+	e.frontier.ForEach(func(v graph.VertexID) {
+		deg := g.OutDegree(v)
+		lo, hi := g.EdgeRange(v)
+		nbrs := g.Edges()[lo:hi]
+		wts := g.Weights()
+		for i, dst := range nbrs {
+			w := float32(1)
+			if wts != nil {
+				w = wts[lo+int64(i)]
+			}
+			u, ok := k.Scatter(EdgeContext{
+				Src: v, Dst: dst, SrcValue: e.values[v], Weight: w, SrcOutDegree: deg,
+			})
+			if !ok {
+				continue
+			}
+			if e.has[dst] {
+				e.agg[dst] = k.Aggregate(e.agg[dst], u)
+			} else {
+				e.agg[dst] = u
+				e.has[dst] = true
+			}
+		}
+	})
+}
+
+// pushChunk scatters one chunk of the frontier slice into the chunk's
+// compact staged-partial list, pre-aggregated per destination in
+// traversal order. It writes only its own chunk's outputs, so chunks can
+// run on any worker in any order without changing a bit of the merged
+// result.
+//
+//perf:hot
+func (e *engine) pushChunk(w, c int) {
+	lo, hi := e.activeChunk(c)
+	s := &e.scratch[w]
+	key := int64(e.iter)*int64(e.C) + int64(c)
+	g, k := e.g, e.k
+	wts := g.Weights()
+	list := e.chunkUpd[c][:0]
+	for _, v := range e.active[lo:hi] {
+		deg := g.OutDegree(v)
+		elo, ehi := g.EdgeRange(v)
+		nbrs := g.Edges()[elo:ehi]
+		for i, dst := range nbrs {
+			wt := float32(1)
+			if wts != nil {
+				wt = wts[elo+int64(i)]
+			}
+			u, ok := k.Scatter(EdgeContext{
+				Src: v, Dst: dst, SrcValue: e.values[v], Weight: wt, SrcOutDegree: deg,
+			})
+			if !ok {
+				continue
+			}
+			if s.stamp[dst] == key {
+				at := s.slot[dst]
+				list[at].val = k.Aggregate(list[at].val, u)
+			} else {
+				s.stamp[dst] = key
+				s.slot[dst] = int32(len(list))
+				list = append(list, stagedUpdate{dst: dst, val: u})
+			}
+		}
+	}
+	e.chunkUpd[c] = list
+}
+
+// mergeChunks folds the staged chunk lists into the global accumulator
+// in fixed chunk order 0..C-1 — the reduction tree that keeps parallel
+// results bit-identical at every worker count.
+//
+//perf:hot
+func (e *engine) mergeChunks() {
+	k := e.k
+	for c := 0; c < e.C; c++ {
+		for _, u := range e.chunkUpd[c] {
+			if e.has[u.dst] {
+				e.agg[u.dst] = k.Aggregate(e.agg[u.dst], u.val)
+			} else {
+				e.agg[u.dst] = u.val
+				e.has[u.dst] = true
+			}
+		}
+	}
+}
+
+// pullRange gathers destinations [lo, hi): each unsettled vertex probes
+// its in-neighbors on the cached transpose for frontier members,
+// breaking as soon as the aggregate saturates. Writes are per-
+// destination and the scan order per destination is fixed, so the pull
+// phase is trivially chunk-parallel and bit-identical to its serial
+// form.
+//
+//perf:hot
+func (e *engine) pullRange(lo, hi int) int64 {
+	g, k, gk := e.g, e.k, e.gk
+	tp := e.tpose
+	wts := tp.Weights()
+	var inspected int64
+	for v := lo; v < hi; v++ {
+		if gk.GatherSkip(e.values[v]) {
+			continue
+		}
+		vid := graph.VertexID(v)
+		elo, ehi := tp.EdgeRange(vid)
+		srcs := tp.Edges()[elo:ehi]
+		for i, u := range srcs {
+			inspected++
+			if !e.frontier.Contains(u) {
+				continue
+			}
+			wt := float32(1)
+			if wts != nil {
+				wt = wts[elo+int64(i)]
+			}
+			contrib, ok := k.Scatter(EdgeContext{
+				Src: u, Dst: vid, SrcValue: e.values[u], Weight: wt, SrcOutDegree: g.OutDegree(u),
+			})
+			if !ok {
+				continue
+			}
+			if e.has[v] {
+				e.agg[v] = k.Aggregate(e.agg[v], contrib)
+			} else {
+				e.agg[v] = contrib
+				e.has[v] = true
+			}
+			if gk.GatherDone(e.agg[v]) {
+				break
+			}
+		}
+	}
+	return inspected
+}
+
+// applySerial folds the aggregates in ascending vertex order, activating
+// the next frontier in place — the serial reference update phase.
+//
+//perf:hot
+func (e *engine) applySerial(next *Frontier) float64 {
+	k, n := e.k, e.n
+	var residual float64
+	if e.tr.AllVerticesActive {
+		for v := 0; v < n; v++ {
+			nv, _ := k.Apply(e.g, graph.VertexID(v), e.values[v], e.agg[v], e.has[v])
+			residual += math.Abs(nv - e.values[v])
+			e.values[v] = nv
+		}
+		return residual
+	}
+	for v := 0; v < n; v++ {
+		if !e.has[v] {
+			continue
+		}
+		nv, activate := k.Apply(e.g, graph.VertexID(v), e.values[v], e.agg[v], true)
+		e.values[v] = nv
+		if activate {
+			next.Activate(graph.VertexID(v))
+		}
+	}
+	return residual
+}
+
+// applyChunk folds one vertex-range chunk, collecting its residual and
+// activations into the chunk's own slots; apply folds them in chunk
+// order, so the next frontier's activation order (ascending vertex id)
+// and the residual's reduction tree are worker-count independent.
+//
+//perf:hot
+func (e *engine) applyChunk(c int) {
+	lo, hi := e.vtxChunk(c)
+	act := e.activatedPerChunk[c][:0]
+	var residual float64
+	k := e.k
+	if e.tr.AllVerticesActive {
+		for v := lo; v < hi; v++ {
+			nv, _ := k.Apply(e.g, graph.VertexID(v), e.values[v], e.agg[v], e.has[v])
+			residual += math.Abs(nv - e.values[v])
+			e.values[v] = nv
+		}
+	} else {
+		for v := lo; v < hi; v++ {
+			if !e.has[v] {
+				continue
+			}
+			nv, activate := k.Apply(e.g, graph.VertexID(v), e.values[v], e.agg[v], true)
+			e.values[v] = nv
+			if activate {
+				act = append(act, graph.VertexID(v))
+			}
+		}
+	}
+	e.activatedPerChunk[c] = act
+	e.residualPerChunk[c] = residual
+}
+
+// apply recycles the spare frontier as the next active set and runs the
+// update phase for the current mode.
+//
+//perf:hot
+func (e *engine) apply() (*Frontier, float64) {
+	next := e.spare
+	next.Reset()
+	if !e.staged {
+		return next, e.applySerial(next)
+	}
+	e.runTasks(e.applyTask)
+	var residual float64
+	for c := 0; c < e.C; c++ {
+		residual += e.residualPerChunk[c]
+		for _, v := range e.activatedPerChunk[c] {
+			next.Activate(v)
+		}
+	}
+	return next, residual
+}
+
+// runTasks dispatches task(worker, c) for every chunk c, inline when the
+// engine has no pool (one worker).
+func (e *engine) runTasks(task func(worker, c int)) {
+	if e.pool == nil {
+		for c := 0; c < e.C; c++ {
+			task(0, c)
+		}
+		return
+	}
+	e.pool.run(e.C, task)
+}
+
+// workerPool is a persistent pool: its goroutines are spawned once per
+// engine run and reused by every phase of every iteration, replacing the
+// fresh-goroutines-per-phase pattern that allocated on the hot path.
+// Phases hand out items via an atomic cursor, which balances skewed
+// chunks; determinism is unaffected because tasks write only their own
+// chunk's slots and the single-threaded merges fold them in fixed chunk
+// order.
+type workerPool struct {
+	workers int
+	task    func(worker, i int)
+	n       int
+	cursor  atomic.Int64
+	start   chan struct{}
+	done    chan struct{}
+}
+
+// newWorkerPool spawns the pool. Both channels are buffered to the pool
+// width so dispatch never blocks mid-handshake.
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		workers: workers,
+		start:   make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		//lint:ignore closureloop one persistent goroutine per pool worker, spawned once per engine run and retired when the run closes the pool
+		go func(w int) {
+			for range p.start {
+				for {
+					i := int(p.cursor.Add(1)) - 1
+					if i >= p.n {
+						break
+					}
+					p.task(w, i)
+				}
+				p.done <- struct{}{}
+			}
+		}(w)
+	}
+	return p
+}
+
+// run dispatches one phase and waits for it to drain. The start sends
+// happen-before the workers' reads of task/n, and the done receives
+// happen-after their last writes, so no phase state is ever racy.
+func (p *workerPool) run(n int, task func(worker, i int)) {
+	p.task, p.n = task, n
+	p.cursor.Store(0)
+	for i := 0; i < p.workers; i++ {
+		p.start <- struct{}{}
+	}
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+}
+
+// close retires the pool's goroutines; Run defers it so a pool never
+// outlives its run.
+func (p *workerPool) close() { close(p.start) }

@@ -1,0 +1,306 @@
+package kernels
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// gatherKernels returns one instance of every registry kernel that
+// implements GatherKernel (the pull-capable set), on source 0 for the
+// sourced ones.
+func gatherKernels(t *testing.T) []GatherKernel {
+	t.Helper()
+	var out []GatherKernel
+	for _, k := range All() {
+		if gk, ok := k.(GatherKernel); ok {
+			out = append(out, gk)
+		}
+	}
+	if len(out) < 4 {
+		t.Fatalf("expected at least bfs/cc/sssp/sswp/reach to implement GatherKernel, got %d", len(out))
+	}
+	return out
+}
+
+// directionResults runs k under all three direction modes on the serial
+// machine.
+func directionResults(t *testing.T, g *graph.Graph, mk func() Kernel) (push, pull, auto *Result) {
+	t.Helper()
+	var err error
+	if push, err = RunSerialWith(g, mk(), Options{Direction: DirectionPush}); err != nil {
+		t.Fatal(err)
+	}
+	if pull, err = RunSerialWith(g, mk(), Options{Direction: DirectionPull}); err != nil {
+		t.Fatal(err)
+	}
+	if auto, err = RunSerialWith(g, mk(), Options{Direction: DirectionAuto}); err != nil {
+		t.Fatal(err)
+	}
+	return push, pull, auto
+}
+
+// assertSharedFieldsEqual fails unless the two results agree bit-exactly
+// on every field both directions are required to share (everything
+// except the direction telemetry itself).
+func assertSharedFieldsEqual(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	for v := range want.Values {
+		if got.Values[v] != want.Values[v] && !(math.IsNaN(got.Values[v]) && math.IsNaN(want.Values[v])) {
+			t.Fatalf("%s: value[%d] = %v, want %v", label, v, got.Values[v], want.Values[v])
+		}
+	}
+	if got.Iterations != want.Iterations || got.Converged != want.Converged {
+		t.Fatalf("%s: iterations/converged = %d/%v, want %d/%v",
+			label, got.Iterations, got.Converged, want.Iterations, want.Converged)
+	}
+	if !reflect.DeepEqual(got.FrontierSizes, want.FrontierSizes) {
+		t.Fatalf("%s: frontier sizes %v, want %v", label, got.FrontierSizes, want.FrontierSizes)
+	}
+	if !reflect.DeepEqual(got.ActiveEdges, want.ActiveEdges) {
+		t.Fatalf("%s: active edges %v, want %v", label, got.ActiveEdges, want.ActiveEdges)
+	}
+}
+
+// TestEngineDirectionsBitIdentical is the heart of the pull soundness
+// claim: for every GatherKernel, forced pull and auto produce exactly
+// the push result — Values bit-equal, same iteration trajectory — on a
+// weighted community graph.
+func TestEngineDirectionsBitIdentical(t *testing.T) {
+	g := socialGraph(t)
+	for _, gk := range gatherKernels(t) {
+		name := gk.Name()
+		t.Run(name, func(t *testing.T) {
+			mk := func() Kernel { k, err := ByName(name); mustNoErr(t, err); return k }
+			push, pull, auto := directionResults(t, g, mk)
+			assertSharedFieldsEqual(t, "pull-vs-push", pull, push)
+			assertSharedFieldsEqual(t, "auto-vs-push", auto, push)
+			if push.PullIterations != 0 || push.PushIterations != push.Iterations {
+				t.Errorf("push run direction telemetry: %d push / %d pull over %d iterations",
+					push.PushIterations, push.PullIterations, push.Iterations)
+			}
+			if pull.PushIterations != 0 || pull.PullIterations != pull.Iterations {
+				t.Errorf("pull run direction telemetry: %d push / %d pull over %d iterations",
+					pull.PushIterations, pull.PullIterations, pull.Iterations)
+			}
+		})
+	}
+}
+
+func mustNoErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDirectionsOnAwkwardGraphs extends the differential to the
+// shapes that break naive pull implementations: disconnected components
+// (unreached vertices must stay at their initial value, not get probed
+// into activation) and self-loops (a frontier vertex is its own
+// in-neighbor).
+func TestEngineDirectionsOnAwkwardGraphs(t *testing.T) {
+	// Two components: a 6-cycle reachable from source 0 and an isolated
+	// triangle, plus self-loops on both sides of the cut.
+	b := graph.NewBuilder(9)
+	for i := 0; i < 6; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%6), 1)
+	}
+	b.AddEdge(2, 2, 1) // self-loop inside the reachable component
+	for i := 6; i < 9; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID(6+(i-5)%3), 1)
+	}
+	b.AddEdge(7, 7, 1) // self-loop in the unreachable component
+	g, err := b.Build()
+	mustNoErr(t, err)
+
+	for _, name := range []string{"bfs", "cc", "reach"} {
+		t.Run(name, func(t *testing.T) {
+			mk := func() Kernel { k, err := ByName(name); mustNoErr(t, err); return k }
+			push, pull, auto := directionResults(t, g, mk)
+			assertSharedFieldsEqual(t, "pull-vs-push", pull, push)
+			assertSharedFieldsEqual(t, "auto-vs-push", auto, push)
+		})
+	}
+}
+
+// TestEngineHybridMatchesPushProperty is the randomized property test:
+// across RMAT and sparse Erdős–Rényi graphs (self-loops kept, many
+// disconnected vertices), hybrid BFS and CC stay bit-identical to
+// push-only.
+func TestEngineHybridMatchesPushProperty(t *testing.T) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		rmat, err := gen.RMATGraph500(8, 8, gen.Config{Seed: seed})
+		mustNoErr(t, err)
+		er, err := gen.ErdosRenyi(300, 450, gen.Config{Seed: seed})
+		mustNoErr(t, err)
+		for _, tc := range []struct {
+			label string
+			g     *graph.Graph
+		}{{"rmat", rmat}, {"er", er}} {
+			for _, name := range []string{"bfs", "cc"} {
+				mk := func() Kernel { k, err := ByName(name); mustNoErr(t, err); return k }
+				push, pull, auto := directionResults(t, tc.g, mk)
+				label := tc.label + "/" + name
+				assertSharedFieldsEqual(t, label+"/pull", pull, push)
+				assertSharedFieldsEqual(t, label+"/auto", auto, push)
+			}
+		}
+	}
+}
+
+// TestEngineAutoShrinksInspectedOnHubGraph pins the payoff: on the
+// hub-heavy twitter7 stand-in, auto BFS chooses pull for the dense
+// middle iterations and inspects less than half the edges push probes.
+func TestEngineAutoShrinksInspectedOnHubGraph(t *testing.T) {
+	g, err := gen.Twitter7.Generate(0.25, gen.Config{Seed: 7, DropSelfLoops: true})
+	mustNoErr(t, err)
+	push, err := RunSerialWith(g, NewBFS(0), Options{Direction: DirectionPush})
+	mustNoErr(t, err)
+	auto, err := RunSerialWith(g, NewBFS(0), Options{Direction: DirectionAuto})
+	mustNoErr(t, err)
+	assertSharedFieldsEqual(t, "auto-vs-push", auto, push)
+	if auto.PullIterations == 0 {
+		t.Fatal("auto BFS never chose pull on the hub-heavy stand-in")
+	}
+	if auto.EdgesInspected*2 > push.EdgesInspected {
+		t.Fatalf("auto inspected %d of %d push edges; want at least a 2x reduction",
+			auto.EdgesInspected, push.EdgesInspected)
+	}
+}
+
+// TestEngineBitIdenticalAtEveryWorkerCount is the parallel-runner fix's
+// contract: the staged machine's FULL Result — values, telemetry, and
+// the new direction counters — is reflect.DeepEqual across worker
+// counts for every kernel, float-sum kernels included.
+func TestEngineBitIdenticalAtEveryWorkerCount(t *testing.T) {
+	g := socialGraph(t)
+	for _, k := range All() {
+		name := k.Name()
+		t.Run(name, func(t *testing.T) {
+			mk := func() Kernel { k, err := ByName(name); mustNoErr(t, err); return k }
+			ref, err := Run(g, mk(), Options{Workers: 1})
+			mustNoErr(t, err)
+			for _, w := range []int{2, 3, 5, 8, 64, 0} {
+				got, err := Run(g, mk(), Options{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Fatalf("workers=%d: Result differs from workers=1:\n got %+v\nwant %+v", w, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineStagedDirectionsBitIdentical runs the direction differential
+// on the staged machine too: Run with forced pull equals Run with forced
+// push at several worker counts.
+func TestEngineStagedDirectionsBitIdentical(t *testing.T) {
+	g := socialGraph(t)
+	for _, w := range []int{1, 4} {
+		push, err := Run(g, NewBFS(0), Options{Workers: w, Direction: DirectionPush})
+		mustNoErr(t, err)
+		pull, err := Run(g, NewBFS(0), Options{Workers: w, Direction: DirectionPull})
+		mustNoErr(t, err)
+		assertSharedFieldsEqual(t, "staged pull-vs-push", pull, push)
+	}
+}
+
+// TestEnginePullRequiresGatherKernel pins the error path: forcing pull
+// on a kernel without a gather implementation must fail up front, for
+// both machines.
+func TestEnginePullRequiresGatherKernel(t *testing.T) {
+	g := socialGraph(t)
+	k := NewPageRank(5, 0.85)
+	if _, err := RunSerialWith(g, k, Options{Direction: DirectionPull}); err == nil ||
+		!strings.Contains(err.Error(), "GatherKernel") {
+		t.Fatalf("serial forced pull on pagerank: err = %v, want GatherKernel error", err)
+	}
+	if _, err := Run(g, k, Options{Direction: DirectionPull}); err == nil {
+		t.Fatal("staged forced pull on pagerank succeeded")
+	}
+	if _, err := RunSerialWith(g, k, Options{Direction: Direction(42)}); err == nil {
+		t.Fatal("unknown direction accepted")
+	}
+}
+
+// TestEngineAllocGate pins the allocation-free steady state the engine
+// exists for, mirroring internal/sim's TestAllocGate: once the buffers
+// are warm, one full prepare/traverse/apply iteration allocates nothing
+// — on the serial machine, the staged machine (Workers=1, keeping the
+// phase dispatch on its inline path as the sim gate does), and the pull
+// direction.
+func TestEngineAllocGate(t *testing.T) {
+	g := socialGraph(t)
+	cases := []struct {
+		name   string
+		kernel Kernel
+		opt    Options
+		staged bool
+	}{
+		{"serial-pagerank", NewPageRank(0, 0.85), Options{}, false},
+		{"staged-pagerank", NewPageRank(0, 0.85), Options{Workers: 1}, true},
+		{"serial-cc-pull", NewConnectedComponents(), Options{Direction: DirectionPull}, false},
+		{"staged-cc-pull", NewConnectedComponents(), Options{Workers: 1, Direction: DirectionPull}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, err := newEngine(g, tc.kernel, tc.opt, tc.staged)
+			mustNoErr(t, err)
+			iter := 0
+			step := func() {
+				// One run() iteration minus the Result bookkeeping, whose
+				// appends are a legitimate amortized per-iteration cost.
+				e.prepare(iter)
+				e.traverse()
+				if e.hasSK {
+					e.frontier.ForEach(e.sk.OnScattered)
+				}
+				next, _ := e.apply()
+				if e.tr.AllVerticesActive {
+					next.ActivateAll()
+				}
+				e.spare, e.frontier = e.frontier, next
+				iter++
+			}
+			for i := 0; i < 3; i++ {
+				step() // warm the staged lists, scratch stamps, and frontiers
+			}
+			if allocs := testing.AllocsPerRun(10, step); allocs != 0 {
+				t.Fatalf("steady-state iteration allocates %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestEngineOnDegreeSortedLayout closes the loop with the cache-blocked
+// CSR layout: a BFS run on the degree-sorted relabeling, mapped back
+// through the permutation, is bit-identical to the run on the original
+// graph.
+func TestEngineOnDegreeSortedLayout(t *testing.T) {
+	g := socialGraph(t)
+	rg, order, err := graph.DegreeSortedLayout(g)
+	mustNoErr(t, err)
+	inv := graph.InverseOrder(order)
+
+	ref, err := RunSerial(g, NewBFS(3))
+	mustNoErr(t, err)
+	res, err := RunSerial(rg, NewBFS(inv[3]))
+	mustNoErr(t, err)
+	back := graph.ValuesToOriginal(res.Values, order)
+	for v := range ref.Values {
+		a, b := back[v], ref.Values[v]
+		if a != b && !(math.IsInf(a, 1) && math.IsInf(b, 1)) {
+			t.Fatalf("relabeled BFS level[%d] = %v, original %v", v, a, b)
+		}
+	}
+	if res.Iterations != ref.Iterations {
+		t.Fatalf("relabeled run took %d iterations, original %d", res.Iterations, ref.Iterations)
+	}
+}

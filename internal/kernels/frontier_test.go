@@ -51,3 +51,66 @@ func TestFrontierReuseAllocGate(t *testing.T) {
 		t.Fatalf("recycled frontier allocates %.1f times per refill, want 0", allocs)
 	}
 }
+
+// TestFrontierWordIteration checks the bitset word view: ForEachWord
+// must visit exactly the non-zero words in ascending order, and
+// ForEachAscending must recover the sorted vertex set regardless of
+// activation order.
+func TestFrontierWordIteration(t *testing.T) {
+	f := NewFrontier(150)
+	for _, v := range []graph.VertexID{149, 3, 64, 127, 65, 0} {
+		f.Activate(v)
+	}
+	var got []graph.VertexID
+	f.ForEachAscending(func(v graph.VertexID) { got = append(got, v) })
+	want := []graph.VertexID{0, 3, 64, 65, 127, 149}
+	if len(got) != len(want) {
+		t.Fatalf("ForEachAscending visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEachAscending visited %v, want %v", got, want)
+		}
+	}
+	var bases []graph.VertexID
+	f.ForEachWord(func(base graph.VertexID, word uint64) {
+		if word == 0 {
+			t.Fatalf("ForEachWord delivered a zero word at base %d", base)
+		}
+		bases = append(bases, base)
+	})
+	for i := 1; i < len(bases); i++ {
+		if bases[i] <= bases[i-1] {
+			t.Fatalf("word bases out of order: %v", bases)
+		}
+	}
+}
+
+// TestFrontierWordIterationAllActive checks the synthesized all-active
+// word view, including the partial last word of a non-multiple-of-64
+// vertex count.
+func TestFrontierWordIterationAllActive(t *testing.T) {
+	const n = 70 // one full word plus a 6-bit partial
+	f := NewFrontier(n)
+	f.ActivateAll()
+	count := 0
+	f.ForEachAscending(func(v graph.VertexID) {
+		if int(v) != count {
+			t.Fatalf("all-active ascending visit %d, want %d", v, count)
+		}
+		count++
+	})
+	if count != n {
+		t.Fatalf("all-active ascending visited %d vertices, want %d", count, n)
+	}
+	var words int
+	f.ForEachWord(func(base graph.VertexID, word uint64) {
+		words++
+		if base == 64 && word != uint64(1)<<6-1 {
+			t.Fatalf("partial last word = %#x, want %#x", word, uint64(1)<<6-1)
+		}
+	})
+	if words != 2 {
+		t.Fatalf("all-active word count = %d, want 2", words)
+	}
+}

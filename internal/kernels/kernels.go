@@ -137,6 +137,31 @@ type SourcedKernel interface {
 	Source() graph.VertexID
 }
 
+// GatherKernel is implemented by frontier-driven kernels whose traversal
+// can also run in the pull direction: instead of scattering the
+// frontier's out-edges, the engine scans destination vertices and probes
+// their in-neighbors for frontier members, calling the same Scatter on
+// each hit. Pull is sound exactly when the two hooks below are: with an
+// exact (order-independent) Aggregate such as min or max, the pull
+// direction visits the same contribution set as push and must therefore
+// produce bit-identical results — a property ndpverify's
+// direction-differential oracle enforces.
+type GatherKernel interface {
+	Kernel
+	// GatherSkip reports that a vertex whose property is old can be
+	// skipped entirely by a pull iteration: no aggregated contribution
+	// from the current frontier could change its value or activate it
+	// (e.g. a BFS vertex that already has a level). Skipping must be a
+	// pure refinement of push — the skipped vertex's Apply would have
+	// been a no-op.
+	GatherSkip(old float64) bool
+	// GatherDone reports that the running aggregate agg has saturated:
+	// no further contribution can change it, so the in-neighbor scan may
+	// stop early. This early exit is the entire win of the pull
+	// direction (Beamer's bottom-up step).
+	GatherDone(agg float64) bool
+}
+
 // StatefulKernel is implemented by kernels that keep per-vertex side state
 // which the traversal consumes (delta-PageRank residuals). Engines call
 // OnScattered(v) for every frontier vertex after the traversal phase

@@ -1,222 +1,22 @@
 package kernels
 
 import (
-	"runtime"
-	"sync"
-
 	"repro/internal/graph"
 )
 
-// RunParallel executes the kernel with the traversal and update phases
-// parallelised across a worker pool. Semantics match RunSerial: min/max
-// kernels produce bit-identical results; sum kernels differ only by
-// floating-point association order (the frontier is sharded across
-// workers, each accumulating into a private buffer, and shards merge in
-// fixed worker order — so results are deterministic for a given worker
-// count).
+// RunParallel executes the kernel on the staged parallel machine with the
+// given worker-pool width (workers <= 0 selects GOMAXPROCS). It is
+// exactly Run with Options{Workers: workers}: the traversal and update
+// phases are partitioned over a fixed chunk grid and merged in chunk
+// order, so the Result — including float-sum kernels — is bit-identical
+// at EVERY worker count. Direction optimization is on (DirectionAuto),
+// as in RunSerial.
 //
-// workers <= 0 selects GOMAXPROCS.
+// Relative to RunSerial, sum kernels may differ by the fixed chunk-grid
+// reassociation (the same serial-vs-staged relationship internal/sim's
+// machines have); min/max kernels are bit-identical to RunSerial too.
+//
+//perf:hot
 func RunParallel(g *graph.Graph, k Kernel, workers int) (*Result, error) {
-	if err := CheckGraph(g, k); err != nil {
-		return nil, err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := g.NumVertices()
-	if workers > n && n > 0 {
-		workers = n
-	}
-	if n == 0 || workers == 0 {
-		return RunSerial(g, k)
-	}
-	tr := k.Traits()
-	values := make([]float64, n)
-	for v := 0; v < n; v++ {
-		values[v] = k.InitialValue(g, graph.VertexID(v))
-	}
-	frontier := NewFrontier(n)
-	if init := k.InitialFrontier(g); init == nil {
-		frontier.ActivateAll()
-	} else {
-		for _, v := range init {
-			frontier.Activate(v)
-		}
-	}
-
-	res := &Result{Values: values}
-	identity := k.Identity()
-
-	// Per-worker private accumulation buffers, reused across iterations.
-	type shard struct {
-		agg []float64
-		has []bool
-		// activations collected during the parallel apply phase.
-		activated []graph.VertexID
-		residual  float64
-		applied   int64
-	}
-	shards := make([]*shard, workers)
-	for w := range shards {
-		shards[w] = &shard{agg: make([]float64, n), has: make([]bool, n)}
-	}
-	// Global merged buffers.
-	agg := make([]float64, n)
-	has := make([]bool, n)
-
-	for iter := 0; iter < tr.MaxIterations; iter++ {
-		if frontier.Count() == 0 {
-			res.Converged = true
-			break
-		}
-		active := frontier.Vertices()
-		res.FrontierSizes = append(res.FrontierSizes, int64(len(active)))
-
-		// Traversal phase: shard the frontier contiguously so each worker
-		// processes a deterministic slice.
-		var wg sync.WaitGroup
-		var edgeCounts = make([]int64, workers)
-		for w := 0; w < workers; w++ {
-			lo := len(active) * w / workers
-			hi := len(active) * (w + 1) / workers
-			wg.Add(1)
-			go func(w, lo, hi int) {
-				defer wg.Done()
-				sh := shards[w]
-				for i := range sh.agg {
-					sh.agg[i] = identity
-					sh.has[i] = false
-				}
-				wts := g.Weights()
-				for _, v := range active[lo:hi] {
-					deg := g.OutDegree(v)
-					edgeCounts[w] += deg
-					elo, ehi := g.EdgeRange(v)
-					nbrs := g.Edges()[elo:ehi]
-					for j, dst := range nbrs {
-						wt := float32(1)
-						if wts != nil {
-							wt = wts[elo+int64(j)]
-						}
-						u, ok := k.Scatter(EdgeContext{
-							Src: v, Dst: dst, SrcValue: values[v], Weight: wt, SrcOutDegree: deg,
-						})
-						if !ok {
-							continue
-						}
-						if sh.has[dst] {
-							sh.agg[dst] = k.Aggregate(sh.agg[dst], u)
-						} else {
-							sh.agg[dst] = u
-							sh.has[dst] = true
-						}
-					}
-				}
-			}(w, lo, hi)
-		}
-		wg.Wait()
-		var activeEdges int64
-		for _, c := range edgeCounts {
-			activeEdges += c
-		}
-		res.ActiveEdges = append(res.ActiveEdges, activeEdges)
-		res.Iterations++
-
-		// Merge phase: combine shards into the global buffers. Sharded by
-		// destination range so it parallelises without contention, while
-		// worker order inside each destination stays fixed.
-		wg = sync.WaitGroup{}
-		for m := 0; m < workers; m++ {
-			dlo := n * m / workers
-			dhi := n * (m + 1) / workers
-			wg.Add(1)
-			go func(dlo, dhi int) {
-				defer wg.Done()
-				for d := dlo; d < dhi; d++ {
-					agg[d] = identity
-					has[d] = false
-					for w := 0; w < workers; w++ {
-						sh := shards[w]
-						if !sh.has[d] {
-							continue
-						}
-						if has[d] {
-							agg[d] = k.Aggregate(agg[d], sh.agg[d])
-						} else {
-							agg[d] = sh.agg[d]
-							has[d] = true
-						}
-					}
-				}
-			}(dlo, dhi)
-		}
-		wg.Wait()
-
-		// Stateful kernels consume pending state before Apply.
-		if sk, ok := k.(StatefulKernel); ok {
-			frontier.ForEach(sk.OnScattered)
-		}
-
-		// Update phase: disjoint destination ranges, no write contention.
-		next := NewFrontier(n)
-		wg = sync.WaitGroup{}
-		for m := 0; m < workers; m++ {
-			dlo := n * m / workers
-			dhi := n * (m + 1) / workers
-			wg.Add(1)
-			go func(m, dlo, dhi int) {
-				defer wg.Done()
-				sh := shards[m]
-				sh.activated = sh.activated[:0]
-				sh.residual = 0
-				sh.applied = 0
-				for d := dlo; d < dhi; d++ {
-					if tr.AllVerticesActive {
-						nv, _ := k.Apply(g, graph.VertexID(d), values[d], agg[d], has[d])
-						if nv > values[d] {
-							sh.residual += nv - values[d]
-						} else {
-							sh.residual += values[d] - nv
-						}
-						values[d] = nv
-						sh.applied++
-						continue
-					}
-					if !has[d] {
-						continue
-					}
-					sh.applied++
-					nv, activate := k.Apply(g, graph.VertexID(d), values[d], agg[d], true)
-					values[d] = nv
-					if activate {
-						sh.activated = append(sh.activated, graph.VertexID(d))
-					}
-				}
-			}(m, dlo, dhi)
-		}
-		wg.Wait()
-
-		if tr.AllVerticesActive {
-			var residual float64
-			for _, sh := range shards {
-				residual += sh.residual
-			}
-			if tr.Epsilon > 0 && residual < tr.Epsilon {
-				res.Converged = true
-				break
-			}
-			next.ActivateAll()
-		} else {
-			for _, sh := range shards {
-				for _, v := range sh.activated {
-					next.Activate(v)
-				}
-			}
-		}
-		frontier = next
-	}
-	if !res.Converged && res.Iterations < tr.MaxIterations {
-		res.Converged = true
-	}
-	return res, nil
+	return Run(g, k, Options{Workers: workers})
 }

@@ -3,7 +3,6 @@ package kernels
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"repro/internal/graph"
 )
@@ -20,11 +19,21 @@ type Result struct {
 	// FrontierSizes[i] is the number of active vertices in iteration i.
 	FrontierSizes []int64
 	// ActiveEdges[i] is the total out-degree of iteration i's frontier,
-	// i.e. the traversal volume.
+	// i.e. the nominal traversal volume — in both directions, so push and
+	// pull runs stay comparable.
 	ActiveEdges []int64
 	// Converged reports whether the run terminated by convergence (empty
 	// frontier or epsilon residual) rather than the iteration budget.
 	Converged bool
+	// PushIterations and PullIterations count the direction the kernel
+	// engine chose per iteration (engines without a pull mode report all
+	// iterations as push; simulated architectures leave both zero).
+	PushIterations, PullIterations int
+	// EdgesInspected counts the edge probes actually made: the frontier's
+	// out-edge volume for push iterations and the in-neighbor probes
+	// (with early exit) for pull iterations. Zero for engines that do not
+	// track it.
+	EdgesInspected int64
 }
 
 // ErrNeedsWeights is returned when a weighted kernel runs on an
@@ -57,199 +66,25 @@ func CheckGraph(g *graph.Graph, k Kernel) error {
 
 // RunSerial executes the kernel on a single address space with no
 // distribution — the ground-truth reference all simulated architectures
-// are validated against.
+// are validated against. Direction optimization is on (DirectionAuto):
+// kernels implementing GatherKernel may run dense iterations in the pull
+// direction, which is bit-identical to push on Values and every shared
+// telemetry field, and reflected in PullIterations/EdgesInspected.
 //
 //perf:hot
 func RunSerial(g *graph.Graph, k Kernel) (*Result, error) {
-	if err := CheckGraph(g, k); err != nil {
+	return RunSerialWith(g, k, Options{})
+}
+
+// RunSerialWith is RunSerial with explicit engine options (forced
+// traversal direction, alpha/beta thresholds). The Workers option is
+// ignored; use Run for the parallel machine.
+//
+//perf:hot
+func RunSerialWith(g *graph.Graph, k Kernel, opt Options) (*Result, error) {
+	e, err := newEngine(g, k, opt, false)
+	if err != nil {
 		return nil, err
 	}
-	n := g.NumVertices()
-	tr := k.Traits()
-	values := make([]float64, n)
-	for v := 0; v < n; v++ {
-		values[v] = k.InitialValue(g, graph.VertexID(v))
-	}
-	frontier := NewFrontier(n)
-	if init := k.InitialFrontier(g); init == nil {
-		frontier.ActivateAll()
-	} else {
-		for _, v := range init {
-			frontier.Activate(v)
-		}
-	}
-	// spare is recycled as each iteration's next frontier: the double
-	// buffer that replaces a per-iteration NewFrontier allocation.
-	spare := NewFrontier(n)
-
-	res := &Result{Values: values}
-	agg := make([]float64, n)
-	has := make([]bool, n)
-	identity := k.Identity()
-
-	for iter := 0; iter < tr.MaxIterations; iter++ {
-		if frontier.Count() == 0 {
-			res.Converged = true
-			break
-		}
-		res.FrontierSizes = append(res.FrontierSizes, frontier.Count())
-
-		for i := range agg {
-			agg[i] = identity
-			has[i] = false
-		}
-		var activeEdges int64
-
-		// Traversal phase (the paper's Traverse): scatter along the
-		// out-edges of every frontier vertex.
-		frontier.ForEach(func(v graph.VertexID) {
-			deg := g.OutDegree(v)
-			activeEdges += deg
-			lo, hi := g.EdgeRange(v)
-			nbrs := g.Edges()[lo:hi]
-			wts := g.Weights()
-			for i, dst := range nbrs {
-				w := float32(1)
-				if wts != nil {
-					w = wts[lo+int64(i)]
-				}
-				u, ok := k.Scatter(EdgeContext{
-					Src: v, Dst: dst, SrcValue: values[v], Weight: w, SrcOutDegree: deg,
-				})
-				if !ok {
-					continue
-				}
-				if has[dst] {
-					agg[dst] = k.Aggregate(agg[dst], u)
-				} else {
-					agg[dst] = u
-					has[dst] = true
-				}
-			}
-		})
-		res.ActiveEdges = append(res.ActiveEdges, activeEdges)
-		res.Iterations++
-
-		// Stateful kernels consume the frontier's pending state once the
-		// traversal is complete, before any Apply of this iteration.
-		if sk, ok := k.(StatefulKernel); ok {
-			frontier.ForEach(sk.OnScattered)
-		}
-
-		// Update phase (the paper's Apply+Update): fold aggregates and
-		// build the next frontier in the recycled spare buffer.
-		next := spare
-		next.Reset()
-		var residual float64
-		if tr.AllVerticesActive {
-			for v := 0; v < n; v++ {
-				nv, _ := k.Apply(g, graph.VertexID(v), values[v], agg[v], has[v])
-				residual += math.Abs(nv - values[v])
-				values[v] = nv
-			}
-			if tr.Epsilon > 0 && residual < tr.Epsilon {
-				res.Converged = true
-				break
-			}
-			next.ActivateAll()
-		} else {
-			for v := 0; v < n; v++ {
-				if !has[v] {
-					continue
-				}
-				nv, activate := k.Apply(g, graph.VertexID(v), values[v], agg[v], true)
-				values[v] = nv
-				if activate {
-					next.Activate(graph.VertexID(v))
-				}
-			}
-		}
-		spare = frontier
-		frontier = next
-	}
-	if !res.Converged && res.Iterations < tr.MaxIterations {
-		res.Converged = true
-	}
-	return res, nil
-}
-
-// Frontier is a vertex set with O(1) activation, deduplication, and
-// ordered iteration. Engines share it.
-type Frontier struct {
-	member []bool
-	list   []graph.VertexID
-	all    bool
-}
-
-// NewFrontier returns an empty frontier over n vertices.
-func NewFrontier(n int) *Frontier {
-	return &Frontier{member: make([]bool, n)}
-}
-
-// Activate adds v to the frontier (idempotent).
-func (f *Frontier) Activate(v graph.VertexID) {
-	if f.all || f.member[v] {
-		return
-	}
-	f.member[v] = true
-	f.list = append(f.list, v)
-}
-
-// ActivateAll marks every vertex active without materializing the list.
-func (f *Frontier) ActivateAll() { f.all = true }
-
-// Reset returns the frontier to empty without releasing its storage, so
-// engines can double-buffer two frontiers instead of allocating one per
-// iteration. Member bits are cleared through the activation list —
-// Activate is the only writer of member, so the list covers every set
-// bit — making a recycled frontier behave exactly like a fresh
-// NewFrontier of the same size.
-func (f *Frontier) Reset() {
-	for _, v := range f.list {
-		f.member[v] = false
-	}
-	f.list = f.list[:0]
-	f.all = false
-}
-
-// Contains reports whether v is active.
-func (f *Frontier) Contains(v graph.VertexID) bool {
-	return f.all || f.member[v]
-}
-
-// Count returns the number of active vertices.
-func (f *Frontier) Count() int64 {
-	if f.all {
-		return int64(len(f.member))
-	}
-	return int64(len(f.list))
-}
-
-// ForEach visits the active vertices in ascending order when all vertices
-// are active, or in activation order otherwise.
-func (f *Frontier) ForEach(fn func(v graph.VertexID)) {
-	if f.all {
-		for v := range f.member {
-			fn(graph.VertexID(v))
-		}
-		return
-	}
-	for _, v := range f.list {
-		fn(v)
-	}
-}
-
-// Vertices returns the active vertex list (allocating for the all-active
-// case).
-func (f *Frontier) Vertices() []graph.VertexID {
-	if !f.all {
-		out := make([]graph.VertexID, len(f.list))
-		copy(out, f.list)
-		return out
-	}
-	out := make([]graph.VertexID, len(f.member))
-	for i := range out {
-		out[i] = graph.VertexID(i)
-	}
-	return out
+	return e.run()
 }

@@ -57,6 +57,15 @@ func (*ConnectedComponents) Apply(g *graph.Graph, v graph.VertexID, old, agg flo
 	return old, false
 }
 
+// GatherSkip implements GatherKernel: labels are non-negative, so a
+// vertex already holding the lattice bottom 0 can never improve — its
+// push-direction Apply would be a no-op.
+func (*ConnectedComponents) GatherSkip(old float64) bool { return old == 0 }
+
+// GatherDone implements GatherKernel: once the aggregate hits label 0 no
+// in-neighbor can lower it further.
+func (*ConnectedComponents) GatherDone(agg float64) bool { return agg == 0 }
+
 // BFS computes hop counts from a source vertex. Unreached vertices keep
 // +Inf.
 type BFS struct {
@@ -116,6 +125,17 @@ func (*BFS) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate 
 	}
 	return old, false
 }
+
+// GatherSkip implements GatherKernel: a visited vertex can be skipped.
+// Every frontier vertex holds the current level L (induction on the
+// engine's iterations), so all contributions are L+1 — at least one more
+// than any already-assigned level — and the skipped Apply would be a
+// no-op.
+func (*BFS) GatherSkip(old float64) bool { return !math.IsInf(old, 1) }
+
+// GatherDone implements GatherKernel: contributions within one iteration
+// are uniform (all L+1), so the first accepted one settles the min.
+func (*BFS) GatherDone(agg float64) bool { return true }
 
 // SSSP computes single-source shortest path distances over edge weights
 // (frontier-driven Bellman–Ford). Requires a weighted graph with
@@ -180,6 +200,14 @@ func (*SSSP) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate
 	return old, false
 }
 
+// GatherSkip implements GatherKernel: weights are non-negative (enforced
+// by CheckGraph), so distance 0 is the lattice bottom and cannot improve.
+func (*SSSP) GatherSkip(old float64) bool { return old == 0 }
+
+// GatherDone implements GatherKernel: an aggregate of 0 cannot be
+// lowered by further non-negative contributions.
+func (*SSSP) GatherDone(agg float64) bool { return agg == 0 }
+
 // SSWP computes single-source widest paths: the maximum over paths of the
 // minimum edge weight along the path. An extension kernel exercising the
 // max-aggregation path through the engines and in-network elements.
@@ -242,6 +270,14 @@ func (*SSWP) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, hasUpdate
 	}
 	return old, false
 }
+
+// GatherSkip implements GatherKernel: +Inf width (the source) is the max
+// lattice's top and cannot improve.
+func (*SSWP) GatherSkip(old float64) bool { return math.IsInf(old, 1) }
+
+// GatherDone implements GatherKernel: a +Inf aggregate has saturated the
+// max.
+func (*SSWP) GatherDone(agg float64) bool { return math.IsInf(agg, 1) }
 
 // InDegree counts each vertex's in-degree in a single scatter round — the
 // simplest aggregation-only workload, and a useful smoke test for the
@@ -347,3 +383,11 @@ func (*Reachability) Apply(g *graph.Graph, v graph.VertexID, old, agg float64, h
 	}
 	return old, false
 }
+
+// GatherSkip implements GatherKernel: an already-reached vertex (value 1,
+// the max lattice's top) cannot improve.
+func (*Reachability) GatherSkip(old float64) bool { return old != 0 }
+
+// GatherDone implements GatherKernel: every contribution is 1, so the
+// first accepted one settles the max.
+func (*Reachability) GatherDone(agg float64) bool { return true }

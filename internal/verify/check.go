@@ -30,17 +30,18 @@ func (f *Failure) Unwrap() error { return f.Err }
 
 // Oracle families, used as Failure tags.
 const (
-	OraclePartition    = "partition"
-	OracleArchDiff     = "arch-differential"
-	OracleSerialDiff   = "serial-differential"
-	OracleWorkerDiff   = "worker-differential"
-	OracleRecords      = "record-invariants"
-	OracleAggregation  = "aggregation-model"
-	OracleMonotone     = "monotone-convergence"
-	OracleCluster      = "cluster-differential"
-	OracleConservation = "flow-conservation"
-	OracleFaults       = "fault-recovery"
-	OracleTraffic      = "traffic-cross-validation"
+	OraclePartition     = "partition"
+	OracleArchDiff      = "arch-differential"
+	OracleSerialDiff    = "serial-differential"
+	OracleWorkerDiff    = "worker-differential"
+	OracleDirectionDiff = "direction-differential"
+	OracleRecords       = "record-invariants"
+	OracleAggregation   = "aggregation-model"
+	OracleMonotone      = "monotone-convergence"
+	OracleCluster       = "cluster-differential"
+	OracleConservation  = "flow-conservation"
+	OracleFaults        = "fault-recovery"
+	OracleTraffic       = "traffic-cross-validation"
 )
 
 func failf(oracle, format string, args ...interface{}) error {
@@ -91,6 +92,9 @@ func Check(sc Scenario) error {
 		return err
 	}
 	if err := checkSerialResult(g, serial, traits, sc, fresh); err != nil {
+		return err
+	}
+	if err := checkDirectionDifferential(g, fresh, sc); err != nil {
 		return err
 	}
 
@@ -251,6 +255,54 @@ func checkArchDifferential(runs []*core.Result, serial *kernels.Result, traits k
 		}
 		if err := valuesClose(run.Result.Values, serial.Values, tolFor(traits)); err != nil {
 			return failf(OracleSerialDiff, "%s vs serial: %v", run.Engine, err)
+		}
+	}
+	return nil
+}
+
+// checkDirectionDifferential enforces the kernel engine's pull-soundness
+// contract on pull-capable kernels: forced pull, forced push, and the
+// auto hybrid must agree bit-exactly on values and on every shared
+// telemetry field, and the staged machine must be bit-identical across
+// worker counts in both directions. Kernels without a GatherKernel
+// implementation have a single direction and are skipped.
+func checkDirectionDifferential(g *graph.Graph, fresh func() kernels.Kernel, sc Scenario) error {
+	if _, ok := fresh().(kernels.GatherKernel); !ok {
+		return nil
+	}
+	push, err := kernels.RunSerialWith(g, fresh(), kernels.Options{Direction: kernels.DirectionPush})
+	if err != nil {
+		return err
+	}
+	for _, dir := range []kernels.Direction{kernels.DirectionPull, kernels.DirectionAuto} {
+		got, err := kernels.RunSerialWith(g, fresh(), kernels.Options{Direction: dir})
+		if err != nil {
+			return err
+		}
+		if err := valuesBitEqual(got.Values, push.Values); err != nil {
+			return failf(OracleDirectionDiff, "%s %s vs push: %v", sc.Kernel, dir, err)
+		}
+		if got.Iterations != push.Iterations || got.Converged != push.Converged {
+			return failf(OracleDirectionDiff, "%s %s: %d iterations (converged=%v), push %d (%v)",
+				sc.Kernel, dir, got.Iterations, got.Converged, push.Iterations, push.Converged)
+		}
+		if !reflect.DeepEqual(got.FrontierSizes, push.FrontierSizes) ||
+			!reflect.DeepEqual(got.ActiveEdges, push.ActiveEdges) {
+			return failf(OracleDirectionDiff, "%s %s: frontier/edge trajectory differs from push", sc.Kernel, dir)
+		}
+	}
+	for _, dir := range []kernels.Direction{kernels.DirectionPush, kernels.DirectionPull} {
+		one, err := kernels.Run(g, fresh(), kernels.Options{Workers: 1, Direction: dir})
+		if err != nil {
+			return err
+		}
+		many, err := kernels.Run(g, fresh(), kernels.Options{Workers: sc.Workers, Direction: dir})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(many, one) {
+			return failf(OracleDirectionDiff, "%s %s: staged engine differs between workers=1 and workers=%d",
+				sc.Kernel, dir, sc.Workers)
 		}
 	}
 	return nil

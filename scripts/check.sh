@@ -74,6 +74,14 @@ step go test ./...
 step go test -count=1 -run '^TestAllocGate$' ./internal/sim/
 step go test -count=1 -run '^TestFrontierReuseAllocGate$' ./internal/kernels/
 
+# Kernel-engine alloc gate: the direction-optimized engine's steady-state
+# iteration (serial and staged, push and pull) must also allocate nothing.
+step go test -count=1 -run '^TestEngineAllocGate$' ./internal/kernels/
+
+# Kernel-engine differentials: bit-identity across traversal directions
+# and across every worker count, under the race detector.
+step go test -race -count=1 -run '^TestEngineDirectionsBitIdentical$|^TestEngineBitIdenticalAtEveryWorkerCount$' ./internal/kernels/
+
 # The verification harness package gets its own -count=1 -race stage:
 # its differential oracles execute every layer (sim, cluster, core,
 # partition, gen) and must never be satisfied by a cached result.
@@ -155,6 +163,10 @@ echo "==> bench trajectory smoke"
 BENCHTIME=1x scripts/bench_trajectory.sh /tmp/bench-trajectory-smoke.json >/dev/null 2>&1
 grep -q '"allocs_op"' /tmp/bench-trajectory-smoke.json || {
     echo "check.sh: bench trajectory JSON missing allocs_op" >&2
+    exit 1
+}
+grep -q 'EngineKernelBFSDirOpt' /tmp/bench-trajectory-smoke.json || {
+    echo "check.sh: bench trajectory JSON missing the kernel-engine benchmarks" >&2
     exit 1
 }
 echo "ok"
