@@ -15,6 +15,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/partition"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // benchCfg keeps artifact benchmarks proportionate; raise Scale for
@@ -336,3 +338,75 @@ func BenchmarkParallelSpeedup(b *testing.B) {
 	b.ReportMetric(parallel/float64(b.N)*1e3, "parallel-ms")
 	b.ReportMetric(serial/parallel, "speedup")
 }
+
+// benchStoreSetup encodes the com-LiveJournal stand-in into a gcsr2
+// container once and measures the kernel's full-residency working set
+// (peak decompressed segment bytes over an unconstrained run), so the
+// cache-ratio benchmarks can size their budgets as fractions of it.
+func benchStoreSetup(b *testing.B) (data []byte, workingSet int64) {
+	b.Helper()
+	g, err := gen.ComLiveJournal.Generate(0.5, gen.Config{Seed: 42, DropSelfLoops: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 64 KiB segments: enough segments (~10) that fractional budgets
+	// actually evict — at the default 1 MiB the whole stand-in is one
+	// segment and every ratio degenerates to all-or-nothing.
+	data, err = store.EncodeGraph(g, 64<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := store.OpenBytes(data, store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := store.Run(context.Background(), st, kernels.NewBFS(0)); err != nil {
+		b.Fatal(err)
+	}
+	return data, st.Stats().PeakResidentBytes
+}
+
+// benchStoreBFS runs out-of-core BFS with the local tier capped at the
+// given fraction of the full working set. edges/s is the same nominal
+// frontier-edge throughput the in-memory engine benchmarks report, so
+// the 100%/50%/10% rows read directly as the price of memory pressure;
+// far-B/iter is the far-memory fetch volume that price buys.
+func benchStoreBFS(b *testing.B, ratio float64) {
+	data, workingSet := benchStoreSetup(b)
+	budget := int64(float64(workingSet) * ratio)
+	if ratio >= 1 {
+		budget = 0 // unlimited: everything stays local after first touch
+	}
+	st, err := store.OpenBytes(data, store.Options{LocalBytes: budget})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ResetTimer()
+	var nominal int64
+	for i := 0; i < b.N; i++ {
+		res, err := store.Run(context.Background(), st, kernels.NewBFS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		nominal = 0
+		for _, e := range res.ActiveEdges {
+			nominal += e
+		}
+	}
+	b.ReportMetric(float64(nominal)*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+	b.ReportMetric(float64(st.Stats().FarBytes)/float64(b.N), "far-B/run")
+}
+
+// BenchmarkEngineStoreBFSCache100 is the full-residency baseline: the
+// whole container fits in the local tier, so steady state pays only
+// pin/release accounting over the in-memory engine.
+func BenchmarkEngineStoreBFSCache100(b *testing.B) { benchStoreBFS(b, 1.0) }
+
+// BenchmarkEngineStoreBFSCache50 halves the local tier.
+func BenchmarkEngineStoreBFSCache50(b *testing.B) { benchStoreBFS(b, 0.5) }
+
+// BenchmarkEngineStoreBFSCache10 is the deep-pressure point: 10% of the
+// working set local, the rest refetched through the far tier.
+func BenchmarkEngineStoreBFSCache10(b *testing.B) { benchStoreBFS(b, 0.1) }

@@ -1,10 +1,18 @@
 // Command graphgen generates synthetic graphs — either the named dataset
 // stand-ins from the catalog or raw generator output — and writes them as
-// an edge list or the binary CSR container.
+// an edge list, the binary CSR container, or the out-of-core gcsr2
+// segment container.
+//
+// With -stream, the dataset's edge stream feeds an external-sort spill
+// builder directly into a gcsr2 container: peak memory is bounded by the
+// spill buffer, not the graph, so scale factors far beyond RAM are
+// buildable. A streamed build is bit-identical to the in-memory build at
+// the same (scale, seed).
 //
 // Usage:
 //
 //	graphgen -dataset twitter7 -scale 0.5 -out twitter7.gcsr
+//	graphgen -dataset com-livejournal -scale 100 -stream -out lj100.gcsr2
 //	graphgen -gen rmat -n 16 -e 16 -out g.txt -format edgelist
 //	graphgen -list
 package main
@@ -17,6 +25,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 func main() {
@@ -28,7 +37,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "generation seed")
 	weighted := flag.Bool("weighted", true, "attach edge weights")
 	out := flag.String("out", "", "output file ('-' for stdout edge list)")
-	format := flag.String("format", "binary", "output format: binary | binaryz (varint-compressed) | edgelist")
+	format := flag.String("format", "binary", "output format: binary | binaryz (varint-compressed) | edgelist | gcsr2 (out-of-core segment container)")
+	stream := flag.Bool("stream", false, "stream the dataset through the external-sort spill builder into a gcsr2 container (bounded memory; -dataset only)")
+	spillEdges := flag.Int("spill-edges", 0, "stream mode: in-memory edge buffer before a sorted run spills to disk (0 = default)")
+	segBytes := flag.Int64("segment-bytes", 0, "gcsr2 segment payload target in bytes (0 = 1 MiB default)")
 	list := flag.Bool("list", false, "list dataset stand-ins and exit")
 	stats := flag.Bool("stats", false, "print graph statistics to stderr")
 	flag.Parse()
@@ -37,6 +49,13 @@ func main() {
 		for _, d := range gen.Datasets() {
 			fmt.Printf("%-16s %s\n  real: %d vertices, %d edges; base stand-in: %d vertices\n",
 				d.Name, d.Description, d.RealVertices, d.RealEdges, d.BaseVertices)
+		}
+		return
+	}
+
+	if *stream {
+		if err := streamDataset(*dataset, *scale, *seed, *weighted, *out, *spillEdges, *segBytes); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -78,6 +97,8 @@ func main() {
 				err = cerr
 			}
 		}
+	case "gcsr2":
+		err = store.SaveGraphFile(*out, g, *segBytes)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -85,6 +106,40 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, *out)
+}
+
+// streamDataset builds a gcsr2 container out-of-core: the dataset's edge
+// stream (the identical RNG sequence its in-memory Generate draws) feeds
+// the external-sort spill builder, so memory stays bounded by the spill
+// buffer at any scale factor.
+func streamDataset(dataset string, scale float64, seed uint64, weighted bool, out string, spillEdges int, segBytes int64) error {
+	if dataset == "" {
+		return fmt.Errorf("-stream needs -dataset (raw generators have no streaming variant)")
+	}
+	if out == "" || out == "-" {
+		return fmt.Errorf("-stream needs -out FILE (the container is seekless but binary)")
+	}
+	d, err := gen.ByName(dataset)
+	if err != nil {
+		return err
+	}
+	sb := store.NewSpillBuilder(d.Vertices(scale), store.SpillOptions{
+		Weighted:      weighted,
+		DropSelfLoops: true,
+		SpillEdges:    spillEdges,
+		SegmentBytes:  segBytes,
+	})
+	defer sb.Cleanup()
+	if err := d.Stream(scale, seed, sb); err != nil {
+		return err
+	}
+	added, runs := sb.NumEdgesAdded(), sb.NumRuns()
+	if err := sb.SaveContainer(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "streamed %s scale %g: %d raw edges via %d spilled runs into %s\n",
+		dataset, scale, added, runs, out)
+	return nil
 }
 
 func build(dataset, generator string, scale float64, n, e int, cfg gen.Config) (*graph.Graph, error) {

@@ -10,6 +10,7 @@
 //	ndprun -dataset com-livejournal -kernel cc -arch all -csv
 //	ndprun -graph my.gcsr -kernel sssp -arch disaggregated -cache 0.25
 //	ndprun -dataset twitter7 -kernel bfs -arch serial -direction auto
+//	ndprun -store lj.gcsr2 -kernel bfs -store-mem 1048576 -store-verify
 //	ndprun -dataset wiki-talk -kernel cc -cluster -treefanin 4 \
 //	    -fault-seed 7 -fault-drop 0.2 -fault-dup 0.1 -crash 2@1
 //
@@ -26,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,6 +42,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/serve"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 func main() {
@@ -60,6 +63,10 @@ func main() {
 
 		clusterMode = flag.Bool("cluster", false, "run on the concurrent actor cluster instead of the simulator (disaggregated-ndp only)")
 
+		storePath   = flag.String("store", "", "run the kernel out-of-core from this gcsr2 container (no -dataset/-graph needed)")
+		storeMem    = flag.Int64("store-mem", 0, "out-of-core local-memory budget in bytes for decompressed segments (0 = unlimited)")
+		storeVerify = flag.Bool("store-verify", false, "with -store: also materialize the container in RAM, run serially, and fail unless results are bit-identical")
+
 		serverURL = flag.String("server", "", "submit to a running ndpserve instance at this base URL instead of executing locally")
 		tenant    = flag.String("tenant", "", "tenant name sent with -server submissions")
 		snapName  = flag.String("snapshot", "", "snapshot name for -server (default: the dataset or graph-file label)")
@@ -71,6 +78,16 @@ func main() {
 	// runs instead of leaving them to finish on their own.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// -store executes directly from the container through the out-of-core
+	// engine; the graph never materializes in RAM (unless -store-verify
+	// cross-checks it against the serial reference).
+	if *storePath != "" {
+		if err := runStore(ctx, *storePath, *storeMem, *storeVerify, ef, *csv); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	g, err := gf.Load()
 	if err != nil {
@@ -218,6 +235,83 @@ func runSerialEngine(g *graph.Graph, k kernels.Kernel, gf cliconf.GraphFlags, ef
 		render = t.RenderCSV
 	}
 	return render(os.Stdout)
+}
+
+// runStore executes the kernel straight from a gcsr2 container: edges
+// are pinned through the store's segment LRU (the "local memory" tier)
+// instead of an in-RAM CSR, and the telemetry reports the tier traffic
+// the budget produced. With verify, the container is also materialized
+// and run on the serial reference, and the two value vectors must be
+// bit-identical.
+func runStore(ctx context.Context, path string, localBytes int64, verify bool, ef cliconf.EngineFlags, csv bool) error {
+	st, err := store.OpenFile(path, store.Options{LocalBytes: localBytes})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = st.Close() }()
+	k, err := ef.MakeKernel()
+	if err != nil {
+		return err
+	}
+	digest, err := st.Digest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "container %s: V=%d E=%d segments=%d digest %s\n",
+		path, st.NumVertices(), st.NumEdges(), st.NumSegments(), digest)
+
+	res, err := core.StoreEngine(st).Run(ctx, nil, k, core.RunConfig{})
+	if err != nil {
+		return err
+	}
+	stats := st.Stats()
+	t := metrics.NewTable(
+		fmt.Sprintf("%s out-of-core from %s (V=%d E=%d, budget %s)",
+			k.Name(), path, st.NumVertices(), st.NumEdges(), formatBudget(localBytes)),
+		"Iterations", "Converged", "Seg hits", "Seg misses", "Evictions", "Far-memory", "Peak resident")
+	t.AddRow(res.Iterations, res.Converged, stats.Hits, stats.Misses, stats.Evictions,
+		graph.FormatBytes(stats.FarBytes), graph.FormatBytes(stats.PeakResidentBytes))
+	render := t.Render
+	if csv {
+		render = t.RenderCSV
+	}
+	if err := render(os.Stdout); err != nil {
+		return err
+	}
+
+	if verify {
+		g, err := st.Materialize()
+		if err != nil {
+			return err
+		}
+		kk, err := ef.MakeKernel() // fresh instance: stateful kernels carry run state
+		if err != nil {
+			return err
+		}
+		want, err := core.SerialEngine().Run(ctx, g, kk, core.RunConfig{})
+		if err != nil {
+			return err
+		}
+		if res.Iterations != want.Iterations || res.Converged != want.Converged {
+			return fmt.Errorf("store-verify: telemetry diverged (iterations %d vs %d)", res.Iterations, want.Iterations)
+		}
+		for i := range want.Values {
+			gv, wv := res.Values[i], want.Values[i]
+			if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+				return fmt.Errorf("store-verify: value[%d] = %v out-of-core, %v in-memory", i, gv, wv)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "store-verify: out-of-core run is bit-identical to the in-memory serial reference (%d vertices)\n", len(want.Values))
+	}
+	return nil
+}
+
+// formatBudget renders the local-memory budget (0 = unlimited).
+func formatBudget(b int64) string {
+	if b <= 0 {
+		return "unlimited"
+	}
+	return graph.FormatBytes(b)
 }
 
 // runServed submits the run to an ndpserve instance: upload the graph

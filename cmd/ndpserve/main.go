@@ -31,26 +31,33 @@ import (
 	"time"
 
 	"repro/internal/cliconf"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/serve"
 )
 
-// snapshotSpec is one -snapshot flag value: name=dataset:scale[:seed]
-// or name=path.gcsr.
+// snapshotSpec is one -snapshot flag value: name=dataset:scale[:seed],
+// name=path.gcsr, or name=path.gcsr2 (out-of-core container; the
+// snapshot digest becomes the container checksum).
 type snapshotSpec struct {
-	name    string
-	dataset string
-	file    string
-	scale   float64
-	seed    uint64
+	name      string
+	dataset   string
+	file      string
+	container string
+	scale     float64
+	seed      uint64
 }
 
 func parseSnapshotSpec(v string) (snapshotSpec, error) {
 	name, src, ok := strings.Cut(v, "=")
 	if !ok || name == "" || src == "" {
-		return snapshotSpec{}, fmt.Errorf("snapshot %q: want name=dataset:scale[:seed] or name=path.gcsr", v)
+		return snapshotSpec{}, fmt.Errorf("snapshot %q: want name=dataset:scale[:seed], name=path.gcsr, or name=path.gcsr2", v)
 	}
 	sp := snapshotSpec{name: name, scale: 0.5, seed: 42}
+	if strings.HasSuffix(src, ".gcsr2") {
+		sp.container = src
+		return sp, nil
+	}
 	if strings.HasSuffix(src, ".gcsr") {
 		sp.file = src
 		return sp, nil
@@ -98,11 +105,19 @@ func main() {
 
 	reg := serve.NewRegistry()
 	for _, sp := range snaps {
-		g, err := cliconf.LoadGraph(sp.dataset, sp.file, sp.scale, sp.seed)
-		if err != nil {
-			fatal(err)
+		var (
+			info serve.SnapshotInfo
+			err  error
+		)
+		if sp.container != "" {
+			info, err = reg.PutContainerFile(sp.name, sp.container)
+		} else {
+			var g *graph.Graph
+			g, err = cliconf.LoadGraph(sp.dataset, sp.file, sp.scale, sp.seed)
+			if err == nil {
+				info, err = reg.Put(sp.name, g)
+			}
 		}
-		info, err := reg.Put(sp.name, g)
 		if err != nil {
 			fatal(err)
 		}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/runtime"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // GraphFlags selects the input graph: a named dataset stand-in at a
@@ -42,7 +43,7 @@ type GraphFlags struct {
 // Register installs the group on fs with the standard names.
 func (f *GraphFlags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Dataset, "dataset", "", "dataset stand-in: twitter7 | uk-2005 | com-livejournal | wiki-talk")
-	fs.StringVar(&f.File, "graph", "", "graph file (.gcsr or edge list) instead of -dataset")
+	fs.StringVar(&f.File, "graph", "", "graph file (.gcsr, .gcsr2 container, or edge list) instead of -dataset")
 	fs.Float64Var(&f.Scale, "scale", 0.5, "dataset scale factor")
 	fs.Uint64Var(&f.Seed, "seed", 42, "generation/partitioning seed")
 }
@@ -60,11 +61,15 @@ func (f *GraphFlags) Label() string {
 	return f.Dataset
 }
 
-// LoadGraph loads a graph from a file (.gcsr binary or edge list) or
-// generates a dataset stand-in at the given scale.
+// LoadGraph loads a graph from a file (.gcsr binary, .gcsr2 out-of-core
+// container — materialized into RAM — or edge list) or generates a
+// dataset stand-in at the given scale.
 func LoadGraph(dataset, file string, scale float64, seed uint64) (*graph.Graph, error) {
 	switch {
 	case file != "":
+		if strings.HasSuffix(file, ".gcsr2") {
+			return materializeContainer(file)
+		}
 		if strings.HasSuffix(file, ".gcsr") {
 			return gio.LoadBinaryFile(file)
 		}
@@ -78,6 +83,25 @@ func LoadGraph(dataset, file string, scale float64, seed uint64) (*graph.Graph, 
 	default:
 		return nil, fmt.Errorf("one of -dataset or -graph is required")
 	}
+}
+
+// materializeContainer decompresses a gcsr2 container fully into RAM —
+// the route for commands that need an in-memory CSR from an
+// out-of-core artifact (ndprun -store runs the container in place
+// instead).
+func materializeContainer(path string) (*graph.Graph, error) {
+	st, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		return nil, err
+	}
+	g, err := st.Materialize()
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
 // EngineFlags configures the execution: kernel, architecture, topology

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/store"
+)
+
+// TestStoreEngineMatchesSerial checks the out-of-core engine is
+// bit-equal to the serial reference on every kernel the fixture graph
+// supports, across full-cache and thrashing tier budgets.
+func TestStoreEngineMatchesSerial(t *testing.T) {
+	g := coreGraph(t)
+	data, err := store.EncodeGraph(g, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 4 << 10} {
+		st, err := store.OpenBytes(data, store.Options{LocalBytes: budget})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := StoreEngine(st)
+		if eng.Name() != OutOfCoreEngineName {
+			t.Fatalf("engine name %q", eng.Name())
+		}
+		for _, name := range kernels.Names() {
+			k, err := kernels.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kernels.CheckGraph(g, k); err != nil {
+				continue
+			}
+			want, err := SerialEngine().Run(context.Background(), g, k, RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			kk, err := kernels.ByName(name) // fresh instance: stateful kernels
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Run(context.Background(), nil, kk, RunConfig{})
+			if err != nil {
+				t.Fatalf("budget %d, %s: %v", budget, name, err)
+			}
+			if got.Engine != OutOfCoreEngineName {
+				t.Fatalf("%s: result engine %q", name, got.Engine)
+			}
+			if got.Iterations != want.Iterations || got.Converged != want.Converged {
+				t.Fatalf("budget %d, %s: iterations/converged mismatch", budget, name)
+			}
+			for i := range want.Values {
+				gv, wv := got.Values[i], want.Values[i]
+				if gv != wv && !(math.IsNaN(gv) && math.IsNaN(wv)) {
+					t.Fatalf("budget %d, %s: value[%d] = %v, want %v", budget, name, i, gv, wv)
+				}
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -20,6 +20,14 @@ type Dataset struct {
 	// BaseVertices is the stand-in's vertex count at scale 1.
 	BaseVertices int
 	Generate     func(scale float64, cfg Config) (*graph.Graph, error)
+	// Vertices returns the stand-in's exact vertex count at the given
+	// scale — the count a streaming sink must be sized for.
+	Vertices func(scale float64) int
+	// Stream emits the stand-in's raw edge stream into sink, drawing the
+	// identical RNG sequence as Generate at the same seed, so a streamed
+	// out-of-core build and an in-memory build at the same (scale, seed)
+	// describe the same graph.
+	Stream func(scale float64, seed uint64, sink EdgeSink) error
 }
 
 func scaled(base int, scale float64) int {
@@ -40,14 +48,22 @@ var Twitter7 = Dataset{
 	RealEdges:    1_468_365_182,
 	BaseVertices: 1 << 15,
 	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
-		n := scaled(1<<15, scale)
-		// Round up to a power of two for RMAT.
-		s := 0
-		for (1 << s) < n {
-			s++
-		}
-		return RMATGraph500(s, 35, cfg)
+		return RMATGraph500(twitter7Scale(scale), 35, cfg)
 	},
+	Vertices: func(scale float64) int { return 1 << twitter7Scale(scale) },
+	Stream: func(scale float64, seed uint64, sink EdgeSink) error {
+		return RMATGraph500Into(twitter7Scale(scale), 35, seed, sink)
+	},
+}
+
+// twitter7Scale rounds the scaled vertex count up to RMAT's power of two.
+func twitter7Scale(scale float64) int {
+	n := scaled(1<<15, scale)
+	s := 0
+	for (1 << s) < n {
+		s++
+	}
+	return s
 }
 
 // UK2005 stands in for the UK-2005 web crawl (39M vertices, 936M edges,
@@ -63,6 +79,11 @@ var UK2005 = Dataset{
 	Generate: func(scale float64, cfg Config) (*graph.Graph, error) {
 		n := scaled(1<<15, scale)
 		return communityWithHubs(n, maxInt(8, n/512), 22, 0.92, maxInt(4, n/4096), n/16, cfg)
+	},
+	Vertices: func(scale float64) int { return scaled(1<<15, scale) },
+	Stream: func(scale float64, seed uint64, sink EdgeSink) error {
+		n := scaled(1<<15, scale)
+		return communityWithHubsInto(n, maxInt(8, n/512), 22, 0.92, maxInt(4, n/4096), n/16, seed, sink)
 	},
 }
 
@@ -81,6 +102,11 @@ var ComLiveJournal = Dataset{
 		n := scaled(1<<14, scale)
 		return communityWithHubs(n, maxInt(8, n/256), 17, 0.85, maxInt(2, n/8192), n/32, cfg)
 	},
+	Vertices: func(scale float64) int { return scaled(1<<14, scale) },
+	Stream: func(scale float64, seed uint64, sink EdgeSink) error {
+		n := scaled(1<<14, scale)
+		return communityWithHubsInto(n, maxInt(8, n/256), 17, 0.85, maxInt(2, n/8192), n/32, seed, sink)
+	},
 }
 
 // WikiTalk stands in for wiki-Talk (2.4M vertices, 5M edges, mean degree
@@ -98,6 +124,11 @@ var WikiTalk = Dataset{
 		n := scaled(1<<15, scale)
 		hubs := maxInt(4, n/512)
 		return SkewedStar(n, hubs, n/24, 3, cfg)
+	},
+	Vertices: func(scale float64) int { return scaled(1<<15, scale) },
+	Stream: func(scale float64, seed uint64, sink EdgeSink) error {
+		n := scaled(1<<15, scale)
+		return SkewedStarInto(n, maxInt(4, n/512), n/24, 3, seed, sink)
 	},
 }
 
@@ -126,46 +157,12 @@ func ByName(name string) (Dataset, error) {
 // both locality and a heavy degree tail. Hub vertices are spread uniformly
 // across the id space so that they land in different partitions.
 func communityWithHubs(n, communities, degree int, pIn float64, hubs, hubDeg int, cfg Config) (*graph.Graph, error) {
-	if n <= 0 || communities <= 0 || communities > n || pIn < 0 || pIn > 1 {
-		return nil, fmt.Errorf("gen: communityWithHubs invalid n=%d c=%d pIn=%v", n, communities, pIn)
-	}
-	r := newRNG(cfg.Seed)
-	b := graph.NewBuilder(n)
+	b := graph.NewBuilder(maxInt(n, 0))
 	if cfg.DropSelfLoops {
 		b.DropSelfLoops()
 	}
-	size := n / communities
-	for v := 0; v < n; v++ {
-		c := v / size
-		if c >= communities {
-			c = communities - 1
-		}
-		lo := c * size
-		hi := lo + size
-		if c == communities-1 {
-			hi = n
-		}
-		for e := 0; e < degree; e++ {
-			var dst int
-			if r.float64() < pIn {
-				dst = lo + r.intn(hi-lo)
-			} else {
-				dst = r.intn(n)
-			}
-			b.AddEdge(graph.VertexID(v), graph.VertexID(dst), r.float32())
-		}
-	}
-	if hubs > 0 && hubDeg > 0 {
-		stride := n / hubs
-		if stride == 0 {
-			stride = 1
-		}
-		for h := 0; h < hubs; h++ {
-			hub := graph.VertexID((h * stride) % n)
-			for e := 0; e < hubDeg; e++ {
-				b.AddEdge(hub, graph.VertexID(r.intn(n)), r.float32())
-			}
-		}
+	if err := communityWithHubsInto(n, communities, degree, pIn, hubs, hubDeg, cfg.Seed, b); err != nil {
+		return nil, err
 	}
 	return cfg.finish(b)
 }

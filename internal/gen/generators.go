@@ -42,32 +42,9 @@ func RMAT(scale int, edgeFactor int, a, b, c float64, cfg Config) (*graph.Graph,
 	if scale < 0 || scale > 30 {
 		return nil, fmt.Errorf("gen: RMAT scale %d out of range [0,30]", scale)
 	}
-	if a < 0 || b < 0 || c < 0 || a+b+c > 1 {
-		return nil, fmt.Errorf("gen: RMAT probabilities (%v,%v,%v) invalid", a, b, c)
-	}
-	n := 1 << scale
-	m := edgeFactor * n
-	r := newRNG(cfg.Seed)
-	bu := cfg.builder(n)
-	ab := a + b
-	abc := a + b + c
-	for i := 0; i < m; i++ {
-		var src, dst int
-		for lvl := 0; lvl < scale; lvl++ {
-			p := r.float64()
-			switch {
-			case p < a:
-				// top-left: neither bit set
-			case p < ab:
-				dst |= 1 << lvl
-			case p < abc:
-				src |= 1 << lvl
-			default:
-				src |= 1 << lvl
-				dst |= 1 << lvl
-			}
-		}
-		bu.AddEdge(graph.VertexID(src), graph.VertexID(dst), r.float32())
+	bu := cfg.builder(1 << scale)
+	if err := RMATInto(scale, edgeFactor, a, b, c, cfg.Seed, bu); err != nil {
+		return nil, err
 	}
 	return cfg.finish(bu)
 }
@@ -81,13 +58,9 @@ func RMATGraph500(scale, edgeFactor int, cfg Config) (*graph.Graph, error) {
 // ErdosRenyi generates a G(n, m) uniform random graph with n vertices and
 // m directed edges (pre-deduplication).
 func ErdosRenyi(n int, m int, cfg Config) (*graph.Graph, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("gen: ErdosRenyi needs n > 0, got %d", n)
-	}
-	r := newRNG(cfg.Seed)
-	b := cfg.builder(n)
-	for i := 0; i < m; i++ {
-		b.AddEdge(graph.VertexID(r.intn(n)), graph.VertexID(r.intn(n)), r.float32())
+	b := cfg.builder(maxInt(n, 0))
+	if err := ErdosRenyiInto(n, m, cfg.Seed, b); err != nil {
+		return nil, err
 	}
 	return cfg.finish(b)
 }
@@ -157,32 +130,9 @@ func WattsStrogatz(n, k int, beta float64, cfg Config) (*graph.Graph, error) {
 // low-degree vertices whose edge lists are cheaper to ship than their
 // 16-byte updates.
 func SkewedStar(n, hubs, hubDeg, leafDeg int, cfg Config) (*graph.Graph, error) {
-	if n <= 0 || hubs <= 0 || hubs > n {
-		return nil, fmt.Errorf("gen: SkewedStar invalid n=%d hubs=%d", n, hubs)
-	}
-	r := newRNG(cfg.Seed)
-	b := cfg.builder(n)
-	for h := 0; h < hubs; h++ {
-		for e := 0; e < hubDeg; e++ {
-			b.AddEdge(graph.VertexID(h), graph.VertexID(r.intn(n)), r.float32())
-		}
-	}
-	for v := hubs; v < n; v++ {
-		// Most leaves reply to a hub; a few have tiny fan-out of their own.
-		d := 0
-		if leafDeg > 0 {
-			d = r.intn(leafDeg + 1)
-		}
-		for e := 0; e < d; e++ {
-			// Bias ~half the leaf edges back toward hubs.
-			var dst int
-			if r.float64() < 0.5 {
-				dst = r.intn(hubs)
-			} else {
-				dst = r.intn(n)
-			}
-			b.AddEdge(graph.VertexID(v), graph.VertexID(dst), r.float32())
-		}
+	b := cfg.builder(maxInt(n, 0))
+	if err := SkewedStarInto(n, hubs, hubDeg, leafDeg, cfg.Seed, b); err != nil {
+		return nil, err
 	}
 	return cfg.finish(b)
 }
@@ -218,31 +168,9 @@ func Grid(rows, cols int, cfg Config) (*graph.Graph, error) {
 // edge fractions reward min-cut partitioning, which is what Figure 6's
 // METIS curve demonstrates.
 func Community(n, communities, degree int, pIn float64, cfg Config) (*graph.Graph, error) {
-	if n <= 0 || communities <= 0 || communities > n || pIn < 0 || pIn > 1 {
-		return nil, fmt.Errorf("gen: Community invalid n=%d c=%d pIn=%v", n, communities, pIn)
-	}
-	r := newRNG(cfg.Seed)
-	b := cfg.builder(n)
-	size := n / communities
-	for v := 0; v < n; v++ {
-		c := v / size
-		if c >= communities {
-			c = communities - 1
-		}
-		lo := c * size
-		hi := lo + size
-		if c == communities-1 {
-			hi = n
-		}
-		for e := 0; e < degree; e++ {
-			var dst int
-			if r.float64() < pIn {
-				dst = lo + r.intn(hi-lo)
-			} else {
-				dst = r.intn(n)
-			}
-			b.AddEdge(graph.VertexID(v), graph.VertexID(dst), r.float32())
-		}
+	b := cfg.builder(maxInt(n, 0))
+	if err := CommunityInto(n, communities, degree, pIn, cfg.Seed, b); err != nil {
+		return nil, err
 	}
 	return cfg.finish(b)
 }

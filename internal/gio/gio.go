@@ -19,6 +19,12 @@ import (
 	"repro/internal/graph"
 )
 
+// edgeListMaxLine caps a single edge-list line. A data line is two or
+// three decimal fields, so a megabyte is already absurdly generous; the
+// cap exists to bound memory on hostile input, and hitting it is reported
+// as a positioned error rather than a silent truncation.
+const edgeListMaxLine = 1024 * 1024
+
 // ReadEdgeList parses a SNAP-style edge list. Lines starting with '#' or
 // '%' are comments; each data line is "src dst" or "src dst weight" with
 // whitespace separation. The vertex count is max(id)+1 unless numVertices
@@ -30,7 +36,7 @@ import (
 // numVertices explicitly for legitimately sparser id spaces.
 func ReadEdgeList(r io.Reader, numVertices int) (*graph.Graph, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc.Buffer(make([]byte, 64*1024), edgeListMaxLine)
 	var edges []graph.Edge
 	weighted := false
 	maxID := graph.VertexID(0)
@@ -72,6 +78,13 @@ func ReadEdgeList(r io.Reader, numVertices int) (*graph.Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops mid-file when a line exceeds its buffer; a
+			// generic wrap here used to surface as an unpositioned error
+			// (and before that, silence). Name the line and the cap so the
+			// caller can find the offending record.
+			return nil, fmt.Errorf("gio: line %d: exceeds %d-byte line limit: %w", lineNo+1, edgeListMaxLine, err)
+		}
 		return nil, fmt.Errorf("gio: scanning edge list: %w", err)
 	}
 	n := int(maxID) + 1

@@ -1,6 +1,7 @@
 package gio
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"os"
@@ -73,6 +74,25 @@ func TestReadEdgeListErrors(t *testing.T) {
 		if _, err := ReadEdgeList(strings.NewReader(in), 0); err == nil {
 			t.Errorf("accepted malformed input %q", in)
 		}
+	}
+}
+
+func TestReadEdgeListOverlongLine(t *testing.T) {
+	// A line past the scanner cap used to end the parse silently: the
+	// scanner just stopped, and the edges before the long line came back
+	// as a complete graph. It must instead be a positioned error naming
+	// the offending line, wrapping bufio.ErrTooLong.
+	long := strings.Repeat("#", edgeListMaxLine+1)
+	in := "0 1\n1 2\n" + long + "\n2 0\n"
+	_, err := ReadEdgeList(strings.NewReader(in), 0)
+	if err == nil {
+		t.Fatal("overlong line was silently accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error %v does not wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v does not name line 3", err)
 	}
 }
 

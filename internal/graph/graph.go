@@ -38,6 +38,10 @@ type Graph struct {
 	edges   []VertexID
 	weights []float32
 
+	// vertexView marks an offsets-only graph built by NewVertexView: the
+	// edge array is deliberately absent and Neighbors panics.
+	vertexView bool
+
 	// transposeOnce guards the lazily built transpose below. The graph is
 	// immutable, so its transpose is a pure function of it: build it once
 	// on first request and share it with every subsequent caller — pull
@@ -85,6 +89,38 @@ func NewCSR(offsets []int64, edges []VertexID, weights []float32) (*Graph, error
 	return &Graph{offsets: offsets, edges: edges, weights: weights}, nil
 }
 
+// NewVertexView wraps a CSR offsets array in a Graph that carries the
+// vertex list only: NumVertices, NumEdges, OutDegree, and EdgeRange work,
+// but the edge array itself is absent — Neighbors and ForEachEdge panic.
+//
+// Out-of-core runners use this view to drive kernel callbacks
+// (InitialValue/Apply and friends consult only the vertex side of the
+// graph) while adjacency lists stream through a segment store instead of
+// living in one flat slice. It must never be handed to an in-memory
+// engine; the loud panic from Neighbors is the guard.
+func NewVertexView(offsets []int64) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, errors.New("graph: offsets must have at least one entry")
+	}
+	n := len(offsets) - 1
+	if int64(n) > math.MaxUint32 {
+		return nil, ErrTooManyVertices
+	}
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: offsets[0] = %d, want 0", offsets[0])
+	}
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: offsets not monotone at vertex %d: %d > %d", v, offsets[v], offsets[v+1])
+		}
+	}
+	return &Graph{offsets: offsets, vertexView: true}, nil
+}
+
+// VertexView reports whether the graph is an offsets-only view created by
+// NewVertexView (no edge array resident).
+func (g *Graph) VertexView() bool { return g.vertexView }
+
 // NumVertices returns the number of vertices.
 func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
 
@@ -102,6 +138,10 @@ func (g *Graph) OutDegree(v VertexID) int64 {
 // Neighbors returns the sorted out-neighbor list of v. The returned slice
 // aliases internal storage and must not be modified.
 func (g *Graph) Neighbors(v VertexID) []VertexID {
+	if g.vertexView {
+		//lint:ignore panicpath programmer-error guard: a vertex-only view has no adjacency by construction and the accessor has no error path
+		panic("graph: Neighbors on a vertex-only view (adjacency lives in the store)")
+	}
 	return g.edges[g.offsets[v]:g.offsets[v+1]]
 }
 

@@ -439,3 +439,20 @@ func TestModuleCoverageIncludesCmdAndExamples(t *testing.T) {
 		t.Errorf("module has %d type errors; the typecheck rule would gate these", typeErrs)
 	}
 }
+
+// TestLoaderRespectsBuildConstraints pins the loader's go-tool-equivalent
+// file selection: per-platform variants of one function (same name, build
+// tags partitioning the platforms) must type-check as the compiler sees
+// them — one variant — not as a redeclaration. internal/store's mmap
+// pair is the in-repo case this protects.
+func TestLoaderRespectsBuildConstraints(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"go.mod": "module tmp\n\ngo 1.24\n",
+		"p/a.go": "package p\n\nfunc impl() int { return 1 }\n",
+		"p/b.go": "//go:build never_set_tag\n\npackage p\n\nfunc impl() int { return 2 }\n",
+	})
+	_, pkgs := loadTempModule(t, dir)
+	if len(pkgs) != 1 || len(pkgs[0].Files) != 1 {
+		t.Fatalf("loaded %d packages, want 1 with only the unconstrained file", len(pkgs))
+	}
+}

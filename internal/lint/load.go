@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -208,6 +209,13 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 			continue
 		}
 		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		// Respect build constraints (//go:build lines and _GOOS/_GOARCH
+		// filename suffixes) the way the go tool does, so a package with
+		// per-platform variants of one function type-checks as the
+		// compiler sees it rather than with every variant at once.
+		if match, err := build.Default.MatchFile(dir, name); err != nil || !match {
 			continue
 		}
 		names = append(names, name)

@@ -164,14 +164,19 @@ func (r *Registry) Put(name string, g *graph.Graph) (SnapshotInfo, error) {
 	if err != nil {
 		return SnapshotInfo{}, err
 	}
+	return r.install(s), nil
+}
+
+// install atomically swaps s in as the current snapshot under its name.
+func (r *Registry) install(s *Snapshot) SnapshotInfo {
 	r.mu.Lock()
-	old := r.snaps[name]
-	r.snaps[name] = s
+	old := r.snaps[s.name]
+	r.snaps[s.name] = s
 	r.mu.Unlock()
 	if old != nil {
 		old.release()
 	}
-	return s.info(), nil
+	return s.info()
 }
 
 // Get acquires the current snapshot under name. The caller owns one

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/store"
+)
+
+// TestPutContainer checks a gcsr2 container installs as a snapshot whose
+// digest is the container's own checksum (not a re-encoding of the
+// graph), and that jobs execute against the materialized graph.
+func TestPutContainer(t *testing.T) {
+	g := testGraph(t, 7)
+	path := filepath.Join(t.TempDir(), "g.gcsr2")
+	if err := store.SaveGraphFile(path, g, 256); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	info, err := reg.PutContainerFile("g", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Vertices != g.NumVertices() || info.Edges != g.NumEdges() || !info.Weighted {
+		t.Fatalf("snapshot shape %+v does not match source graph", info)
+	}
+
+	// The digest must be the container checksum, bare hex (64 chars —
+	// the job-info derivation slices key[:64]).
+	st, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want, err := st.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = strings.TrimPrefix(want, "sha256:")
+	if info.Digest != want {
+		t.Fatalf("snapshot digest %s, want container checksum %s", info.Digest, want)
+	}
+	if len(info.Digest) != 64 {
+		t.Fatalf("digest length %d, want 64 hex chars", len(info.Digest))
+	}
+	graphDigest, err := GraphDigest(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Digest == graphDigest {
+		t.Fatal("container digest unexpectedly equals the .gcsr graph digest — identity must be the container bytes")
+	}
+
+	// Jobs run against the materialized graph like any other snapshot.
+	m := NewManager(reg, &metrics.Registry{}, ManagerConfig{Executors: 1, QueueCap: 4})
+	defer m.Stop()
+	job, err := m.Submit("t", JobSpec{Snapshot: "g", Kernel: "cc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	ji, err := m.Info(job.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ji.State != StateDone {
+		t.Fatalf("job state %s: %s", ji.State, ji.Error)
+	}
+	if ji.Digest != want {
+		t.Fatalf("job digest %s, want container checksum %s", ji.Digest, want)
+	}
+
+	// Re-putting the same container swaps atomically and keeps one
+	// registry reference.
+	info2, err := reg.PutContainerFile("g", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2.Digest != want || info2.Refs != 1 {
+		t.Fatalf("swapped snapshot %+v", info2)
+	}
+}

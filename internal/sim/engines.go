@@ -56,6 +56,14 @@ type Disaggregated struct {
 	// the hosts, greedily by degree until the budget is exhausted, and
 	// their traversals cost no interconnect bytes. 0 disables the cache.
 	CacheBytes int64
+	// Tier, when non-nil, replaces the per-edge fetch accounting with a
+	// segment-granular memory tier (internal/store's model): edge lists
+	// are fetched in whole SegmentBytes-sized segments, the hosts keep
+	// LocalBytes of them resident under LRU, and the interconnect
+	// traffic is Record.FarMemoryBytes — the misses' segment bytes.
+	// Tier supersedes CacheBytes for movement accounting (the pinned
+	// cache marks vertices, the tier tracks segments; configure one).
+	Tier *TierConfig
 	// Workers caps the simulator's worker pool (0 = GOMAXPROCS). Results
 	// are bit-identical for every setting.
 	Workers int
@@ -104,6 +112,9 @@ func (d *Disaggregated) RunContext(ctx context.Context, g *graph.Graph, k kernel
 	account := func(rec *Record) {
 		rec.Offloaded = false
 		moved := rec.EdgeFetchBytes - rec.CachedEdgeBytes
+		if d.Tier != nil {
+			moved = rec.FarMemoryBytes
+		}
 		rec.DataMovementBytes = moved
 		rec.SyncEvents = int64(d.Topo.ComputeNodes)
 		edgeOps := float64(rec.ActiveEdges) * tr.FLOPsPerEdge
@@ -125,6 +136,9 @@ func (d *Disaggregated) RunContext(ctx context.Context, g *graph.Graph, k kernel
 	ex.ctx = ctx
 	ex.workers = d.Workers
 	ex.cached = cacheMask(g, d.CacheBytes)
+	if d.Tier != nil {
+		ex.tier = newTierState(g, *d.Tier)
+	}
 	run, err := ex.run(d.Name())
 	if err != nil {
 		return nil, err

@@ -131,6 +131,10 @@ type execution struct {
 	// (tiering); their traversals cost no interconnect bytes in
 	// fetch-mode accounting.
 	cached []bool
+	// tier, when non-nil, models a host-local segment LRU: each
+	// iteration charges Record.FarMemoryBytes with the whole-segment
+	// fetches the frontier's accesses miss on (TierConfig).
+	tier *tierState
 	// staticPartials is the full-frontier distinct (dst, partition)
 	// count; staticPartialsPerPart its per-partition breakdown.
 	staticPartials        int64
@@ -602,6 +606,20 @@ func (st *iterState) prepare(iter int, rec *Record) []bool {
 		st.degSumPerPart[p] += d
 		st.partFrontier[p] = append(st.partFrontier[p], v)
 	})
+	if tier := st.e.tier; tier != nil {
+		// Charge the memory tier in the fixed partition-bucket order so
+		// the LRU trace — and therefore FarMemoryBytes — is independent
+		// of the worker count. Plain loops: this runs inside the
+		// zero-allocation iteration steady state.
+		var far int64
+		for p := 0; p < st.P; p++ {
+			bucket := st.partFrontier[p]
+			for i := 0; i < len(bucket); i++ {
+				far += tier.touch(bucket[i])
+			}
+		}
+		rec.FarMemoryBytes = far
+	}
 	var partMask []bool
 	if st.hasPartPolicy {
 		for p := 0; p < st.P; p++ {

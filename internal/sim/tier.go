@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"repro/internal/graph"
+	"repro/internal/kernels"
+)
+
+// TierConfig models a host-local memory tier in front of the far-memory
+// pool (the out-of-core counterpart of internal/store's LRU of
+// decompressed segments). Edge lists are grouped into contiguous
+// segments of roughly SegmentBytes each — the same vertex-aligned
+// tiling the gcsr2 container uses — and the hosts keep at most
+// LocalBytes of segments resident, evicting least-recently-used.
+// Touching a frontier vertex whose segment is not resident charges the
+// whole segment's bytes to Record.FarMemoryBytes: far memory is fetched
+// at segment granularity, not per edge, which is what makes local-tier
+// pressure a movement axis (small tiers thrash; large tiers reduce the
+// traffic to compulsory misses).
+type TierConfig struct {
+	// LocalBytes is the resident-segment budget. <= 0 means unlimited:
+	// every segment stays resident after its first (compulsory) fetch.
+	LocalBytes int64
+	// SegmentBytes is the fetch granularity; <= 0 selects 1 MiB, the
+	// gcsr2 default.
+	SegmentBytes int64
+}
+
+// tierSegmentBytes resolves the granularity default.
+func (c TierConfig) tierSegmentBytes() int64 {
+	if c.SegmentBytes <= 0 {
+		return 1 << 20
+	}
+	return c.SegmentBytes
+}
+
+// tierNilLink terminates the tier's intrusive LRU list.
+const tierNilLink = int32(-1)
+
+// tierState is the segment-granular LRU the simulator consults while
+// bucketing the frontier. All state is preallocated; touch is plain
+// array arithmetic so the per-iteration charge stays inside the
+// simulator's zero-allocation steady state.
+type tierState struct {
+	budget int64
+	// segOf maps each vertex to the segment holding its edge list;
+	// segBytes is each segment's fetch cost.
+	segOf    []int32
+	segBytes []int64
+
+	resident []bool
+	prev     []int32
+	next     []int32
+	head     int32
+	tail     int32
+	// residentBytes tracks the tier's occupancy against budget.
+	residentBytes int64
+}
+
+// newTierState tiles the graph's edge array into vertex-aligned
+// segments of about cfg.SegmentBytes and builds the LRU bookkeeping.
+// The tiling mirrors the gcsr2 writer: a segment closes once its
+// accumulated edge bytes reach the threshold, and every vertex's edge
+// list lives wholly inside one segment.
+func newTierState(g *graph.Graph, cfg TierConfig) *tierState {
+	n := g.NumVertices()
+	segTarget := cfg.tierSegmentBytes()
+	t := &tierState{
+		budget: cfg.LocalBytes,
+		segOf:  make([]int32, n),
+		head:   tierNilLink,
+		tail:   tierNilLink,
+	}
+	var cur int64
+	seg := int32(0)
+	for v := 0; v < n; v++ {
+		cost := g.OutDegree(graph.VertexID(v)) * kernels.EdgeBytes
+		if cur > 0 && cur+cost > segTarget {
+			t.segBytes = append(t.segBytes, cur)
+			seg++
+			cur = 0
+		}
+		t.segOf[v] = seg
+		cur += cost
+	}
+	if n > 0 {
+		t.segBytes = append(t.segBytes, cur)
+	}
+	nSegs := len(t.segBytes)
+	t.resident = make([]bool, nSegs)
+	t.prev = make([]int32, nSegs)
+	t.next = make([]int32, nSegs)
+	for i := range t.prev {
+		t.prev[i] = tierNilLink
+		t.next[i] = tierNilLink
+	}
+	return t
+}
+
+// lruRemove unlinks segment s from the recency list.
+func (t *tierState) lruRemove(s int32) {
+	p, n := t.prev[s], t.next[s]
+	if p != tierNilLink {
+		t.next[p] = n
+	} else {
+		t.head = n
+	}
+	if n != tierNilLink {
+		t.prev[n] = p
+	} else {
+		t.tail = p
+	}
+	t.prev[s] = tierNilLink
+	t.next[s] = tierNilLink
+}
+
+// lruPushFront makes segment s the most recently used.
+func (t *tierState) lruPushFront(s int32) {
+	t.prev[s] = tierNilLink
+	t.next[s] = t.head
+	if t.head != tierNilLink {
+		t.prev[t.head] = s
+	}
+	t.head = s
+	if t.tail == tierNilLink {
+		t.tail = s
+	}
+}
+
+// touch records an access to v's segment and returns the far-memory
+// bytes the access cost: zero on a hit, the whole segment on a miss.
+// Misses evict from the LRU tail until the segment fits; a segment
+// larger than the entire budget still loads (transient overshoot, the
+// same rule the store applies to pinned segments).
+func (t *tierState) touch(v graph.VertexID) int64 {
+	s := t.segOf[v]
+	if t.resident[s] {
+		if t.head != s {
+			t.lruRemove(s)
+			t.lruPushFront(s)
+		}
+		return 0
+	}
+	need := t.segBytes[s]
+	if t.budget > 0 {
+		for t.residentBytes+need > t.budget && t.tail != tierNilLink {
+			victim := t.tail
+			t.lruRemove(victim)
+			t.resident[victim] = false
+			t.residentBytes -= t.segBytes[victim]
+		}
+	}
+	t.resident[s] = true
+	t.residentBytes += need
+	t.lruPushFront(s)
+	return need
+}

@@ -1,0 +1,25 @@
+//go:build linux
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. ok=false falls back to
+// positioned reads (empty files have nothing to map; mmap of length 0 is
+// an error).
+func mmapFile(f *os.File, size int64) ([]byte, bool) {
+	if size <= 0 || size != int64(int(size)) {
+		return nil, false
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(data []byte) error { return syscall.Munmap(data) }

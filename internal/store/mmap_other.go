@@ -1,0 +1,12 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// mmapFile reports no mapping support; OpenFile falls back to positioned
+// reads.
+func mmapFile(*os.File, int64) ([]byte, bool) { return nil, false }
+
+// munmapFile is never reached on platforms without mmapFile support.
+func munmapFile([]byte) error { return nil }

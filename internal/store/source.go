@@ -1,0 +1,88 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// source is random-access container storage. view returns n bytes at off
+// — a direct slice of the mapping when the platform mmaps the file
+// (zero-copy), or scratch filled by pread otherwise. Callers must treat
+// the returned bytes as read-only and must not retain them across loads
+// that reuse scratch.
+type source interface {
+	size() int64
+	view(off, n int64, scratch []byte) ([]byte, error)
+	Close() error
+}
+
+// bytesSource serves an in-memory container (tests, fuzzing, and the
+// mmap path, which is just a kernel-managed byte slice).
+type bytesSource struct {
+	data  []byte
+	unmap func() error
+}
+
+func (b *bytesSource) size() int64 { return int64(len(b.data)) }
+
+func (b *bytesSource) view(off, n int64, _ []byte) ([]byte, error) {
+	if off < 0 || n < 0 || off > int64(len(b.data))-n {
+		return nil, fmt.Errorf("%w: view [%d,%d) outside %d bytes", ErrBadContainer, off, off+n, len(b.data))
+	}
+	return b.data[off : off+n : off+n], nil
+}
+
+func (b *bytesSource) Close() error {
+	b.data = nil
+	if b.unmap != nil {
+		u := b.unmap
+		b.unmap = nil
+		return u()
+	}
+	return nil
+}
+
+// fileSource serves a container by positioned reads — the fallback when
+// mmap is unavailable.
+type fileSource struct {
+	f  *os.File
+	sz int64
+}
+
+func (s *fileSource) size() int64 { return s.sz }
+
+func (s *fileSource) view(off, n int64, scratch []byte) ([]byte, error) {
+	if off < 0 || n < 0 || off > s.sz-n {
+		return nil, fmt.Errorf("%w: view [%d,%d) outside %d bytes", ErrBadContainer, off, off+n, s.sz)
+	}
+	if int64(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	scratch = scratch[:n]
+	if _, err := s.f.ReadAt(scratch, off); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("%w: reading %d bytes at %d: %v", ErrCorrupt, n, off, err)
+	}
+	return scratch, nil
+}
+
+func (s *fileSource) Close() error { return s.f.Close() }
+
+// openSource maps the file when the platform supports it and falls back
+// to positioned reads otherwise. It owns f either way.
+func openSource(f *os.File) (source, error) {
+	st, err := f.Stat()
+	if err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if data, ok := mmapFile(f, st.Size()); ok {
+		// The mapping survives the descriptor; close it now.
+		if err := f.Close(); err != nil {
+			_ = munmapFile(data)
+			return nil, err
+		}
+		return &bytesSource{data: data, unmap: func() error { return munmapFile(data) }}, nil
+	}
+	return &fileSource{f: f, sz: st.Size()}, nil
+}

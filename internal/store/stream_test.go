@@ -1,0 +1,211 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+
+	"repro/internal/gen"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// spillFixture streams edges into a SpillBuilder configured to spill
+// aggressively and returns the opened container.
+func spillFixture(t *testing.T, n int, edges []graph.Edge, opts SpillOptions) *Store {
+	t.Helper()
+	sb := NewSpillBuilder(n, opts)
+	for _, e := range edges {
+		sb.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	var buf bytes.Buffer
+	if err := sb.WriteContainer(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenBytes(buf.Bytes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// randomEdges draws count edges over n vertices, duplicates and
+// self-loops included.
+func randomEdges(n, count int, seed int64) []graph.Edge {
+	r := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, count)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src:    graph.VertexID(r.Intn(n)),
+			Dst:    graph.VertexID(r.Intn(n)),
+			Weight: r.Float32(),
+		}
+	}
+	return edges
+}
+
+// TestSpillBuilderMatchesBuilder checks the external-sort path against
+// the in-memory Builder on an unweighted dup-heavy stream: same vertex
+// set, same deduplicated sorted adjacency.
+func TestSpillBuilderMatchesBuilder(t *testing.T) {
+	const n = 120
+	edges := randomEdges(n, 5000, 7)
+
+	b := graph.NewBuilder(n)
+	b.AddEdges(edges)
+	want, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sb := NewSpillBuilder(n, SpillOptions{SpillEdges: 512, SegmentBytes: 256})
+	for _, e := range edges {
+		sb.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	if sb.NumRuns() < 5 {
+		t.Fatalf("only %d runs spilled; the external path never engaged", sb.NumRuns())
+	}
+	var buf bytes.Buffer
+	if err := sb.WriteContainer(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenBytes(buf.Bytes(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	got, err := st.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, got, want)
+}
+
+// TestSpillBuilderInMemoryPath checks the zero-spill fast path produces
+// the same container as the spilled one.
+func TestSpillBuilderInMemoryPath(t *testing.T) {
+	const n = 60
+	edges := randomEdges(n, 900, 3)
+	spilled := spillFixture(t, n, edges, SpillOptions{Weighted: true, SpillEdges: 64, SegmentBytes: 128})
+	defer spilled.Close()
+	if spilled.NumSegments() == 0 {
+		t.Fatal("empty container")
+	}
+	inMem := spillFixture(t, n, edges, SpillOptions{Weighted: true, SegmentBytes: 128})
+	defer inMem.Close()
+	a, err := spilled.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := inMem.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("spilled and in-memory builds differ: %s vs %s", a, b)
+	}
+}
+
+// TestSpillBuilderFirstWeightWins pins the deterministic dedup contract:
+// the first-inserted duplicate's weight survives, even when the
+// duplicates land in different runs.
+func TestSpillBuilderFirstWeightWins(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 1, Dst: 2, Weight: 5},
+		{Src: 0, Dst: 1, Weight: 9},
+		{Src: 1, Dst: 2, Weight: 7}, // duplicate, later insertion
+		{Src: 1, Dst: 2, Weight: 3}, // and another
+	}
+	// SpillEdges=1 forces every edge into its own run, so the merge's
+	// run-order tie-break is what's under test.
+	for _, spillEdges := range []int{0, 1} {
+		st := spillFixture(t, 3, edges, SpillOptions{Weighted: true, SpillEdges: spillEdges, SegmentBytes: 64})
+		g, err := st.Materialize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wts := g.NeighborWeights(1)
+		if len(wts) != 1 || wts[0] != 5 {
+			t.Fatalf("spillEdges=%d: surviving weights %v, want [5]", spillEdges, wts)
+		}
+		mustClose(t, st)
+	}
+}
+
+// TestSpillBuilderDropSelfLoops checks insertion-time loop filtering.
+func TestSpillBuilderDropSelfLoops(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 0, Weight: 1}, {Src: 0, Dst: 1, Weight: 2}, {Src: 1, Dst: 1, Weight: 3}}
+	st := spillFixture(t, 2, edges, SpillOptions{DropSelfLoops: true})
+	defer st.Close()
+	if st.NumEdges() != 1 {
+		t.Fatalf("%d edges after loop drop, want 1", st.NumEdges())
+	}
+}
+
+// TestSpillBuilderRangeError checks out-of-range edges latch an error
+// that surfaces at WriteContainer.
+func TestSpillBuilderRangeError(t *testing.T) {
+	sb := NewSpillBuilder(4, SpillOptions{})
+	sb.AddEdge(0, 9, 1)
+	sb.AddEdge(1, 2, 1) // ignored after the latch
+	var buf bytes.Buffer
+	if err := sb.WriteContainer(&buf); err == nil {
+		t.Fatal("out-of-range edge built successfully")
+	}
+}
+
+// TestSpillBuilderRunsCleanedUp checks spilled temp files are removed
+// after the build.
+func TestSpillBuilderRunsCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	sb := NewSpillBuilder(50, SpillOptions{SpillEdges: 16, TempDir: dir})
+	for _, e := range randomEdges(50, 200, 9) {
+		sb.AddEdge(e.Src, e.Dst, e.Weight)
+	}
+	if sb.NumRuns() == 0 {
+		t.Fatal("no runs spilled")
+	}
+	var buf bytes.Buffer
+	if err := sb.WriteContainer(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if sb.NumRuns() != 0 {
+		t.Fatalf("%d runs left behind", sb.NumRuns())
+	}
+}
+
+// TestSpillBuilderMatchesDatasets checks every named dataset stand-in
+// streams into a container structurally identical to its in-memory
+// build at the same (scale, seed) — the guarantee that lets check.sh
+// validate a streamed scale-factor build against the RAM path.
+func TestSpillBuilderMatchesDatasets(t *testing.T) {
+	for _, d := range gen.Datasets() {
+		t.Run(d.Name, func(t *testing.T) {
+			const scale, seed = 0.02, 5
+			want, err := d.Generate(scale, gen.Config{Seed: seed, DropSelfLoops: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sb := NewSpillBuilder(d.Vertices(scale), SpillOptions{
+				DropSelfLoops: true, SpillEdges: 1024, SegmentBytes: 512,
+			})
+			if err := d.Stream(scale, seed, sb); err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := sb.WriteContainer(&buf); err != nil {
+				t.Fatal(err)
+			}
+			st, err := OpenBytes(buf.Bytes(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st.Close()
+			got, err := st.Materialize()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertGraphsEqual(t, got, want)
+		})
+	}
+}

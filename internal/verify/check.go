@@ -97,6 +97,9 @@ func Check(sc Scenario) error {
 	if err := checkDirectionDifferential(g, fresh, sc); err != nil {
 		return err
 	}
+	if err := checkStore(g, fresh); err != nil {
+		return err
+	}
 
 	topo := sim.DefaultTopology(sc.ComputeNodes, sc.Partitions)
 	topo.SwitchBufferEntries = sc.SwitchBufferEntries

@@ -78,6 +78,11 @@ step go test -count=1 -run '^TestFrontierReuseAllocGate$' ./internal/kernels/
 # iteration (serial and staged, push and pull) must also allocate nothing.
 step go test -count=1 -run '^TestEngineAllocGate$' ./internal/kernels/
 
+# Out-of-core store alloc gate: a warm-cache replay over the container
+# (every segment resident, pins recycled through the freelist) must
+# allocate nothing per iteration.
+step go test -count=1 -run '^TestStoreAllocGate$' ./internal/store/
+
 # Kernel-engine differentials: bit-identity across traversal directions
 # and across every worker count, under the race detector.
 step go test -race -count=1 -run '^TestEngineDirectionsBitIdentical$|^TestEngineBitIdenticalAtEveryWorkerCount$' ./internal/kernels/
@@ -136,6 +141,22 @@ echo "ok (server log: $(grep -c . "$SERVE_LOG") lines, clean shutdown)"
 # result cache.
 step go run ./cmd/ndpverify -seed 1 -scenarios 8 -served
 
+# Out-of-core round-trip: stream a com-livejournal stand-in straight to
+# a gcsr2 container (the spill path — no full in-RAM graph ever built),
+# then run BFS from the container under a deliberately tight local-memory
+# budget and verify the result bit-identical to the materialized in-RAM
+# run. This is the end-to-end proof behind the store's scale story.
+echo
+echo "==> out-of-core store round-trip"
+STORE_DIR="$(mktemp -d)"
+trap 'rm -rf "$STORE_DIR"' EXIT
+go run ./cmd/graphgen -dataset com-livejournal -scale 1 -stream \
+    -spill-edges 65536 -segment-bytes 16384 -out "$STORE_DIR/lj.gcsr2"
+go run ./cmd/ndprun -store "$STORE_DIR/lj.gcsr2" -store-mem 65536 \
+    -store-verify -kernel bfs
+rm -rf "$STORE_DIR"
+trap - EXIT
+
 # The cluster fault tests get a dedicated -race stage at -count=2: fault
 # injection + recovery is the code most exposed to scheduling, and the
 # determinism claims must hold run over run with the race detector's
@@ -146,6 +167,14 @@ step go test -race -count=2 -run '^TestFault' ./internal/cluster/
 # every kernel × engine × worker-count combination must match the serial
 # path exactly, twice, under the race detector's altered scheduling.
 step go test -race -count=2 -run '^TestParallelMatchesSerial$' ./internal/sim/
+
+# Store lifecycle under the race detector at -count=2: the pin/release
+# refcount protocol hammered from many goroutines, cancellation returning
+# every refcount to baseline, and the no-leaked-goroutines gate — the
+# LRU tier's correctness-under-concurrency claims must hold run over run.
+step go test -race -count=2 \
+    -run '^TestStorePinConcurrentHammer$|^TestStoreRunCancellation$|^TestStoreLeavesNoGoroutines$' \
+    ./internal/store/
 
 step go test -race ./...
 
@@ -192,6 +221,10 @@ if [ "$FUZZ_SECONDS" -gt 0 ]; then
         # contract — deterministic fixpoints, and forgetting module
         # facts only ever grows the leak set.
         "FuzzLifecycleLattice ./internal/lint/lifeflow/"
+        # The gcsr2 segment codec: arbitrary adjacency lists must round-
+        # trip exactly, and arbitrary payload bytes must decode to a typed
+        # error or a valid segment — never a panic.
+        "FuzzSegmentCodec ./internal/store/"
     )
     for target in "${fuzz_targets[@]}"; do
         read -r name pkg <<< "$target"
